@@ -1,0 +1,50 @@
+"""Appendix A.2 — cost of one Rz via |m_theta> injection vs a T-state factory."""
+
+from repro.analysis import format_table
+from repro.rus import (
+    InjectionModel,
+    InjectionStrategy,
+    PreparationModel,
+    RzCostModel,
+    TFactoryModel,
+    compare_rz_vs_t,
+)
+
+
+def appendix_rows():
+    result = compare_rz_vs_t()
+    continuous = RzCostModel(PreparationModel(5, 1e-3),
+                             InjectionModel(InjectionStrategy.CNOT))
+    return [{
+        "quantity": "continuous-angle Rz (cycles)",
+        "value": round(result.continuous_angle_cycles, 2),
+    }, {
+        "quantity": "continuous-angle Rz, 4 parallel preps (cycles)",
+        "value": round(continuous.expected_cycles(parallel_patches=4), 2),
+    }, {
+        "quantity": "Clifford+T Rz, best case (cycles)",
+        "value": result.clifford_t_cycles_best,
+    }, {
+        "quantity": "Clifford+T Rz, worst case (cycles)",
+        "value": result.clifford_t_cycles_worst,
+    }, {
+        "quantity": "Clifford+T overhead factor (best)",
+        "value": round(result.overhead_best, 1),
+    }, {
+        "quantity": "Clifford+T overhead factor (worst)",
+        "value": round(result.overhead_worst, 1),
+    }]
+
+
+def test_bench_appendix_a2_rz_vs_t(benchmark):
+    rows = benchmark(appendix_rows)
+    print()
+    print(format_table(rows, title="Appendix A.2: |m_theta> vs T injection"))
+    by_name = {row["quantity"]: row["value"] for row in rows}
+    # Paper: ~8.4 cycles per Rz with the baseline policy, 200-1300 for
+    # Clifford+T, i.e. a 20-150x overhead.
+    assert 5.0 <= by_name["continuous-angle Rz (cycles)"] <= 12.0
+    assert by_name["Clifford+T Rz, best case (cycles)"] == 200
+    assert by_name["Clifford+T Rz, worst case (cycles)"] == 1300
+    assert by_name["Clifford+T overhead factor (best)"] >= 15
+    assert by_name["Clifford+T overhead factor (worst)"] >= 100

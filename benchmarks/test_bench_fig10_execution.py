@@ -1,0 +1,39 @@
+"""Figure 10 — normalised execution time across the benchmark suite.
+
+The headline result: at d=7, p=1e-4, RESCQ improves over the statically
+scheduled baselines by roughly 2x (geometric mean across benchmarks).
+"""
+
+from repro.analysis import format_normalised_summary, run_execution_comparison
+from repro.sim import geometric_mean
+
+from conftest import SEEDS, evaluation_suite
+
+
+def test_bench_fig10_normalised_execution_time(benchmark, headline_config,
+                                               schedulers):
+    circuits = evaluation_suite()
+
+    def run():
+        return run_execution_comparison(circuits, schedulers=schedulers,
+                                        config=headline_config, seeds=SEEDS,
+                                        baseline="autobraid")
+
+    summary = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(format_normalised_summary(
+        summary, title="Figure 10: execution time normalised to AutoBraid"))
+
+    speedup_vs_autobraid = summary.geomean_speedup("rescq", over="autobraid")
+    speedup_vs_greedy = summary.geomean_speedup("rescq", over="greedy")
+    print(f"geomean speedup over autobraid: {speedup_vs_autobraid:.2f}x")
+    print(f"geomean speedup over greedy:    {speedup_vs_greedy:.2f}x")
+
+    # The paper reports an average 2x improvement; require the reproduction to
+    # land in the same regime (clearly above 1.4x on the scaled suite).
+    assert speedup_vs_autobraid > 1.4
+    assert speedup_vs_greedy > 1.4
+    # RESCQ must win on (nearly) every individual benchmark.
+    normalised = summary.normalised()
+    wins = sum(1 for row in normalised.values() if row["rescq"] < 1.0)
+    assert wins >= int(0.8 * len(normalised))

@@ -1,0 +1,32 @@
+"""Figure 12 — sensitivity of every scheduler to the physical error rate (d=7)."""
+
+from repro.analysis import format_table, sweep_error_rate
+
+from conftest import SEEDS, sensitivity_suite
+
+ERROR_RATES = (1e-3, 3e-4, 1e-4, 3e-5, 1e-5)
+
+
+def test_bench_fig12_error_rate_sensitivity(benchmark, schedulers):
+    circuits = sensitivity_suite()
+
+    def run():
+        return sweep_error_rate(schedulers, circuits, error_rates=ERROR_RATES,
+                                distance=7, seeds=SEEDS)
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(format_table([row.as_dict() for row in rows],
+                       title="Figure 12: sensitivity to physical error rate"))
+
+    by_key = {(r.benchmark, r.scheduler, r.value): r.mean_cycles for r in rows}
+    names = sorted({r.benchmark for r in rows})
+    for name in names:
+        # All schemes are relatively insensitive to p (Section 5.2.2): the
+        # swing between the worst and best error rate stays small.
+        for scheduler in ("greedy", "autobraid", "rescq"):
+            values = [by_key[(name, scheduler, p)] for p in ERROR_RATES]
+            assert max(values) <= min(values) * 1.35
+        # RESCQ keeps its advantage at every error rate.
+        for p in ERROR_RATES:
+            assert by_key[(name, "rescq", p)] < by_key[(name, "autobraid", p)]

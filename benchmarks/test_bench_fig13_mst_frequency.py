@@ -1,0 +1,28 @@
+"""Figure 13 — RESCQ's sensitivity to the MST recomputation period k."""
+
+from repro.analysis import format_table, sweep_mst_period
+from repro.scheduling import RescqScheduler
+
+from conftest import SEEDS, sensitivity_suite
+
+PERIODS = (25, 50, 100, 200)
+
+
+def test_bench_fig13_mst_period_sensitivity(benchmark):
+    circuits = sensitivity_suite()
+
+    def run():
+        return sweep_mst_period([RescqScheduler()], circuits, periods=PERIODS,
+                                seeds=SEEDS)
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(format_table([row.as_dict() for row in rows],
+                       title="Figure 13: RESCQ sensitivity to MST period k"))
+
+    by_key = {(r.benchmark, r.value): r.mean_cycles for r in rows}
+    for name in sorted({r.benchmark for r in rows}):
+        values = [by_key[(name, k)] for k in PERIODS]
+        # Performance deteriorates only negligibly as k increases
+        # (Section 5.2.3): the whole sweep stays within ~20%.
+        assert max(values) <= min(values) * 1.2

@@ -1,0 +1,49 @@
+"""Figure 16 — expected cycles and attempts to prepare |m_theta> vs d and p."""
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.rus import PreparationModel
+
+DISTANCES = (5, 7, 9, 11, 13)
+ERROR_RATES = (1e-3, 1e-4, 1e-5)
+
+
+def figure16_rows():
+    rows = []
+    for p in ERROR_RATES:
+        for d in DISTANCES:
+            model = PreparationModel(distance=d, physical_error_rate=p)
+            rng = np.random.default_rng(0)
+            sampled_cycles = float(np.mean([model.sample_cycles(rng)
+                                            for _ in range(2000)]))
+            rows.append({
+                "p": p,
+                "d": d,
+                "expected_attempts": round(model.expected_attempts(), 3),
+                "expected_cycles": round(model.expected_cycles(), 3),
+                "sampled_mean_cycles": round(sampled_cycles, 3),
+            })
+    return rows
+
+
+def test_bench_fig16_preparation_statistics(benchmark):
+    rows = benchmark.pedantic(figure16_rows, rounds=1, iterations=1)
+    print()
+    print(format_table(rows, title="Figure 16: |m_theta> preparation statistics"))
+
+    by_key = {(row["p"], row["d"]): row for row in rows}
+    for p in ERROR_RATES:
+        cycles = [by_key[(p, d)]["expected_cycles"] for d in DISTANCES]
+        attempts = [by_key[(p, d)]["expected_attempts"] for d in DISTANCES]
+        # Expected cycles decrease with distance; attempts increase with it.
+        assert cycles == sorted(cycles, reverse=True)
+        assert attempts == sorted(attempts)
+    for d in DISTANCES:
+        # Lower physical error rate -> fewer (or equal) cycles.
+        series = [by_key[(p, d)]["expected_cycles"] for p in ERROR_RATES]
+        assert series == sorted(series, reverse=True)
+    # Sampled means agree with the analytic expectation (ceil rounding adds
+    # at most one cycle of bias).
+    for row in rows:
+        assert abs(row["sampled_mean_cycles"] - row["expected_cycles"]) < 1.1

@@ -1,0 +1,22 @@
+"""Figure 3 — maximum rotation count vs target fidelity (Clifford+Rz vs +T)."""
+
+from repro.analysis import figure3_series, format_table
+
+
+def test_bench_fig3_fidelity_capacity(benchmark):
+    rows = benchmark(figure3_series)
+    print()
+    print(format_table(rows, title="Figure 3: max rotations per target fidelity"))
+    # Clifford+Rz supports orders of magnitude more rotations at every point.
+    for row in rows:
+        assert (row["max_rotations_clifford_rz"]
+                >= 10 * row["max_rotations_clifford_t"])
+    # Larger distance -> larger capacity for both compilations.
+    by_fidelity = {}
+    for row in rows:
+        by_fidelity.setdefault(row["target_fidelity"], []).append(
+            (row["distance"], row["max_rotations_clifford_rz"]))
+    for series in by_fidelity.values():
+        series.sort()
+        values = [value for _, value in series]
+        assert values == sorted(values)

@@ -1,0 +1,31 @@
+"""Table 1 — properties of the ZZ vs CNOT injection strategies."""
+
+from repro.analysis import format_table
+from repro.rus import InjectionModel, InjectionStrategy
+
+
+def table1_rows():
+    rows = []
+    for strategy in (InjectionStrategy.CNOT, InjectionStrategy.ZZ):
+        rows.append({
+            "parameter": strategy.name,
+            "exposed_edge": strategy.exposed_edge,
+            "ancillas_required": strategy.ancillas_required,
+            "injection_cycles": strategy.cycles,
+            "expected_injections_per_rz": InjectionModel(
+                strategy).expected_injection_count(),
+        })
+    return rows
+
+
+def test_bench_table1_injection_strategies(benchmark):
+    rows = benchmark(table1_rows)
+    print()
+    print(format_table(rows, title="Table 1: injection strategies"))
+    by_name = {row["parameter"]: row for row in rows}
+    assert by_name["CNOT"]["exposed_edge"] == "X"
+    assert by_name["ZZ"]["exposed_edge"] == "Z"
+    assert by_name["CNOT"]["ancillas_required"] == 2
+    assert by_name["ZZ"]["ancillas_required"] == 1
+    assert by_name["CNOT"]["injection_cycles"] == 2
+    assert by_name["ZZ"]["injection_cycles"] == 1

@@ -1,0 +1,20 @@
+"""Table 3 — benchmark suite characteristics (paper vs generated circuits)."""
+
+from repro.analysis import format_table
+from repro.workloads import table3_rows
+
+
+def test_bench_table3_workload_characteristics(benchmark):
+    rows = benchmark.pedantic(table3_rows, rounds=1, iterations=1)
+    print()
+    print(format_table(rows, title="Table 3: benchmarks (paper vs generated)"))
+    # Every row regenerates with the right qubit count and a non-trivial
+    # amount of both gate types.
+    assert len(rows) == 23
+    for row in rows:
+        assert row["generated_rz"] > 0
+        assert row["generated_cnot"] > 0
+    # The suite spans the paper's range of Rz:CNOT ratios (~0.3 to ~6.5).
+    ratios = [row["generated_rz_per_cnot"] for row in rows]
+    assert min(ratios) < 1.0
+    assert max(ratios) > 4.0

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Bring your own circuit: import, transpile, export and schedule a workload.
+
+Demonstrates the full front-end path a downstream user would follow:
+
+1. build (or parse) a circuit containing high-level gates (here a small
+   Trotterised chemistry-style circuit with RZZ / RY / CCX gates);
+2. lower it into the Clifford+Rz scheduler basis;
+3. export/import it through the artifact text format of the paper's appendix
+   B.7 (the same format the original simulator consumes);
+4. schedule it with RESCQ and inspect per-gate traces.
+
+Run with::
+
+    python examples/custom_workload.py
+"""
+
+import math
+
+from repro import RescqScheduler, SimulationConfig, default_layout
+from repro.analysis import format_table
+from repro.circuits import (
+    Circuit,
+    Gate,
+    GateType,
+    from_artifact_format,
+    to_artifact_format,
+    transpile_to_clifford_rz,
+)
+
+
+def build_high_level_circuit() -> Circuit:
+    """A toy molecular-dynamics style circuit with non-basis gates."""
+    circuit = Circuit(6, name="custom_chemistry")
+    for qubit in range(6):
+        circuit.append(Gate(GateType.RY, (qubit,), angle=0.2 + 0.05 * qubit))
+    for left in range(5):
+        circuit.append(Gate(GateType.RZZ, (left, left + 1), angle=0.37))
+    circuit.append(Gate(GateType.CCX, (0, 1, 2)))
+    circuit.append(Gate(GateType.SWAP, (3, 5)))
+    for qubit in range(6):
+        circuit.append(Gate(GateType.RZ, (qubit,), angle=math.pi / 7))
+    return circuit
+
+
+def main() -> None:
+    high_level = build_high_level_circuit()
+    lowered = transpile_to_clifford_rz(high_level)
+    print(f"high-level gates: {len(high_level)}  ->  "
+          f"Clifford+Rz gates: {len(lowered)}")
+    print(f"stats after lowering: {lowered.stats().as_row()}")
+
+    # Round-trip through the artifact appendix B.7 text format.
+    text = to_artifact_format(lowered)
+    print("\nfirst lines of the artifact-format export:")
+    print("\n".join(text.splitlines()[:6]))
+    reloaded = from_artifact_format(text, num_qubits=lowered.num_qubits,
+                                    name=lowered.name)
+
+    config = SimulationConfig()
+    result = RescqScheduler().run(reloaded, default_layout(reloaded), config,
+                                  seed=0)
+    print(f"\nRESCQ executed {result.num_gates} gates in "
+          f"{result.total_cycles} cycles "
+          f"(idle fraction {result.idle_fraction():.2f})")
+
+    slowest = sorted(result.traces, key=lambda t: t.latency_after_schedule,
+                     reverse=True)[:5]
+    rows = [{
+        "gate": trace.kind,
+        "qubits": ",".join(str(q) for q in trace.qubits),
+        "released_at": trace.scheduled_cycle,
+        "finished_at": trace.end_cycle,
+        "latency": trace.latency_after_schedule,
+        "injections": trace.injections,
+        "prep_attempts": trace.preparation_attempts,
+    } for trace in slowest]
+    print()
+    print(format_table(rows, title="Five slowest gates (post-release latency)"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Setuptools shim so that legacy editable installs (no wheel package) work offline."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,66 @@
+"""repro — a from-scratch reproduction of RESCQ (ASPLOS 2025).
+
+RESCQ is a realtime scheduler for surface-code architectures that natively
+prepare continuous-angle rotation states |m_theta>.  This package provides the
+whole stack the paper's evaluation rests on:
+
+* :mod:`repro.circuits` — Clifford+Rz circuit IR, dependency DAG, text I/O;
+* :mod:`repro.workloads` — the Table 3 benchmark generators;
+* :mod:`repro.fabric` — STAR tile layouts and grid compression;
+* :mod:`repro.lattice` — lattice-surgery costs, edge orientation, routing;
+* :mod:`repro.rus` — |m_theta> preparation/injection statistics and the
+  Clifford+T comparison;
+* :mod:`repro.scheduling` — RESCQ plus the greedy and AutoBraid baselines;
+* :mod:`repro.sim` — the seeded cycle-level symbolic-execution simulator;
+* :mod:`repro.analysis` — sweeps and experiment drivers for every figure and
+  table of the paper.
+
+Quickstart::
+
+    from repro import (RescqScheduler, AutoBraidScheduler, SimulationConfig,
+                       compare_schedulers)
+    from repro.workloads import qft_circuit
+
+    circuit = qft_circuit(8)
+    rows = compare_schedulers([AutoBraidScheduler(), RescqScheduler()], circuit,
+                              config=SimulationConfig(), seeds=3)
+    print({name: row.mean_cycles for name, row in rows.items()})
+"""
+
+from .circuits import Circuit, Gate, GateType
+from .fabric import GridLayout, StarVariant, compress_layout, star_layout
+from .rus import InjectionModel, InjectionStrategy, PreparationModel
+from .scheduling import AutoBraidScheduler, GreedyScheduler, RescqScheduler
+from .sim import (
+    SimulationConfig,
+    SimulationResult,
+    compare_schedulers,
+    default_layout,
+    geometric_mean,
+    run_schedule,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "Circuit",
+    "Gate",
+    "GateType",
+    "GridLayout",
+    "StarVariant",
+    "star_layout",
+    "compress_layout",
+    "PreparationModel",
+    "InjectionModel",
+    "InjectionStrategy",
+    "RescqScheduler",
+    "GreedyScheduler",
+    "AutoBraidScheduler",
+    "SimulationConfig",
+    "SimulationResult",
+    "run_schedule",
+    "compare_schedulers",
+    "default_layout",
+    "geometric_mean",
+]

@@ -1,0 +1,49 @@
+"""Experiment drivers, sweeps, and result formatting."""
+
+from .experiments import (
+    ExecutionSummary,
+    best_rescq_over_periods,
+    default_schedulers,
+    latency_histograms,
+    run_execution_comparison,
+)
+from .export import (
+    result_from_dict,
+    result_to_dict,
+    results_from_json,
+    results_to_json,
+    traces_to_csv,
+)
+from .fidelity import LogicalErrorModel, figure3_series, max_rotations
+from .report import format_histogram, format_normalised_summary, format_table
+from .sweep import (
+    SweepRow,
+    sweep_compression,
+    sweep_distance,
+    sweep_error_rate,
+    sweep_mst_period,
+)
+
+__all__ = [
+    "ExecutionSummary",
+    "run_execution_comparison",
+    "best_rescq_over_periods",
+    "latency_histograms",
+    "default_schedulers",
+    "LogicalErrorModel",
+    "result_to_dict",
+    "result_from_dict",
+    "results_to_json",
+    "results_from_json",
+    "traces_to_csv",
+    "figure3_series",
+    "max_rotations",
+    "format_table",
+    "format_histogram",
+    "format_normalised_summary",
+    "SweepRow",
+    "sweep_distance",
+    "sweep_error_rate",
+    "sweep_mst_period",
+    "sweep_compression",
+]

@@ -1,0 +1,159 @@
+"""End-to-end experiment drivers for the headline results (Figures 5 and 10).
+
+These functions reproduce the paper's main evaluation loop: run every
+benchmark under every scheduler, normalise execution times to a baseline and
+report the geometric mean speed-up (Figure 10), and accumulate post-schedule
+completion-latency histograms for CNOT and Rz gates (Figure 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..circuits import Circuit
+from ..scheduling import AutoBraidScheduler, GreedyScheduler, RescqScheduler
+from ..sim import (
+    SimulationConfig,
+    SimulationResult,
+    compare_schedulers,
+    default_layout,
+    geometric_mean,
+)
+
+__all__ = ["default_schedulers", "ExecutionSummary", "run_execution_comparison",
+           "best_rescq_over_periods", "latency_histograms"]
+
+
+def default_schedulers(mst_period: int = 25):
+    """The three schedulers the paper compares: greedy, AutoBraid, RESCQ."""
+    return [GreedyScheduler(), AutoBraidScheduler(), RescqScheduler()]
+
+
+@dataclass
+class ExecutionSummary:
+    """The Figure 10 table: per-benchmark normalised execution times."""
+
+    baseline: str
+    #: benchmark -> scheduler -> mean cycles
+    cycles: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    #: benchmark -> scheduler -> (min, max) cycles (the error bars)
+    spread: Dict[str, Dict[str, tuple]] = field(default_factory=dict)
+
+    def normalised(self) -> Dict[str, Dict[str, float]]:
+        """Execution time of every scheduler normalised to the baseline."""
+        table: Dict[str, Dict[str, float]] = {}
+        for benchmark, per_scheduler in self.cycles.items():
+            reference = per_scheduler.get(self.baseline)
+            if not reference:
+                continue
+            table[benchmark] = {name: value / reference
+                                for name, value in per_scheduler.items()}
+        return table
+
+    def geomean_speedup(self, scheduler: str = "rescq",
+                        over: Optional[str] = None) -> float:
+        """Geometric-mean speed-up of ``scheduler`` over ``over`` (Figure 10)."""
+        over = over or self.baseline
+        ratios = []
+        for per_scheduler in self.cycles.values():
+            if scheduler in per_scheduler and over in per_scheduler:
+                if per_scheduler[scheduler] > 0:
+                    ratios.append(per_scheduler[over] / per_scheduler[scheduler])
+        return geometric_mean(ratios)
+
+    def schedulers(self) -> List[str]:
+        names: List[str] = []
+        for per_scheduler in self.cycles.values():
+            for name in per_scheduler:
+                if name not in names:
+                    names.append(name)
+        return names
+
+
+def run_execution_comparison(circuits: Sequence[Circuit],
+                             schedulers=None,
+                             config: Optional[SimulationConfig] = None,
+                             seeds: int = 3,
+                             baseline: str = "autobraid") -> ExecutionSummary:
+    """Run the Figure 10 experiment over ``circuits``.
+
+    The paper normalises to the static baselines and reports a ~2x geometric
+    mean improvement for RESCQ at d=7, p=1e-4.
+    """
+    schedulers = schedulers if schedulers is not None else default_schedulers()
+    config = config or SimulationConfig()
+    summary = ExecutionSummary(baseline=baseline)
+    for circuit in circuits:
+        comparison = compare_schedulers(schedulers, circuit, config=config,
+                                        seeds=seeds)
+        summary.cycles[circuit.name] = {
+            name: cell.mean_cycles for name, cell in comparison.items()}
+        summary.spread[circuit.name] = {
+            name: (cell.min_cycles, cell.max_cycles)
+            for name, cell in comparison.items()}
+    return summary
+
+
+def best_rescq_over_periods(circuits: Sequence[Circuit],
+                            periods: Sequence[int] = (25, 50, 100, 200),
+                            config: Optional[SimulationConfig] = None,
+                            seeds: int = 2,
+                            baseline: str = "autobraid") -> ExecutionSummary:
+    """RESCQ* of Figure 10: the best RESCQ result over k in {25,50,100,200}."""
+    config = config or SimulationConfig()
+    summary = ExecutionSummary(baseline=baseline)
+    baseline_schedulers = [GreedyScheduler(), AutoBraidScheduler()]
+    for circuit in circuits:
+        comparison = compare_schedulers(baseline_schedulers, circuit,
+                                        config=config, seeds=seeds)
+        cycles = {name: cell.mean_cycles for name, cell in comparison.items()}
+        spread = {name: (cell.min_cycles, cell.max_cycles)
+                  for name, cell in comparison.items()}
+        best_mean = None
+        best_spread = (0.0, 0.0)
+        for period in periods:
+            rescq_config = config.with_updates(mst_period=int(period))
+            rescq_rows = compare_schedulers([RescqScheduler()], circuit,
+                                            config=rescq_config, seeds=seeds)
+            cell = rescq_rows["rescq"]
+            if best_mean is None or cell.mean_cycles < best_mean:
+                best_mean = cell.mean_cycles
+                best_spread = (cell.min_cycles, cell.max_cycles)
+        cycles["rescq*"] = best_mean if best_mean is not None else 0.0
+        spread["rescq*"] = best_spread
+        summary.cycles[circuit.name] = cycles
+        summary.spread[circuit.name] = spread
+    return summary
+
+
+def latency_histograms(circuits: Sequence[Circuit],
+                       schedulers=None,
+                       config: Optional[SimulationConfig] = None,
+                       seeds: int = 2,
+                       max_cycles: int = 30) -> Dict[str, Dict[str, Dict[int, int]]]:
+    """Figure 5: per-scheduler histograms of post-schedule gate latency.
+
+    Returns ``{scheduler: {"cnot": {cycles: count}, "rz": {cycles: count}}}``
+    accumulated over all provided benchmarks.
+    """
+    schedulers = schedulers if schedulers is not None else default_schedulers()
+    config = config or SimulationConfig()
+    histograms: Dict[str, Dict[str, Dict[int, int]]] = {}
+    for scheduler in schedulers:
+        histograms[scheduler.name] = {"cnot": {}, "rz": {}}
+    for circuit in circuits:
+        comparison = compare_schedulers(schedulers, circuit, config=config,
+                                        seeds=seeds)
+        for scheduler in schedulers:
+            cell = comparison[scheduler.name]
+            for result in cell.results:
+                for kind in ("cnot", "rz"):
+                    for bucket, count in result.latency_histogram(
+                            kind, max_cycles=max_cycles).items():
+                        store = histograms[scheduler.name][kind]
+                        store[bucket] = store.get(bucket, 0) + count
+    for per_scheduler in histograms.values():
+        for kind in per_scheduler:
+            per_scheduler[kind] = dict(sorted(per_scheduler[kind].items()))
+    return histograms

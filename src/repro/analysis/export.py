@@ -1,0 +1,106 @@
+"""Serialisation of simulation results (the artifact's "log files").
+
+The original artifact writes per-run log files that its post-processing
+scripts turn into plots.  This module provides the equivalent: JSON and CSV
+export of :class:`~repro.sim.results.SimulationResult` objects so downstream
+tooling (pandas, plotting notebooks) can consume reproduction runs directly.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Dict, Iterable, List, Optional
+
+from ..sim.results import GateTrace, SimulationResult
+
+__all__ = ["result_to_dict", "result_from_dict", "results_to_json",
+           "results_from_json", "traces_to_csv"]
+
+
+def result_to_dict(result: SimulationResult) -> Dict[str, object]:
+    """Convert a result into plain JSON-serialisable data."""
+    return {
+        "benchmark": result.benchmark,
+        "scheduler": result.scheduler,
+        "seed": result.seed,
+        "total_cycles": result.total_cycles,
+        "num_qubits": result.num_qubits,
+        "config_summary": result.config_summary,
+        "metadata": dict(result.metadata),
+        "data_busy_cycles": {str(k): v for k, v in result.data_busy_cycles.items()},
+        "traces": [{
+            "gate_index": trace.gate_index,
+            "kind": trace.kind,
+            "qubits": list(trace.qubits),
+            "scheduled_cycle": trace.scheduled_cycle,
+            "start_cycle": trace.start_cycle,
+            "end_cycle": trace.end_cycle,
+            "injections": trace.injections,
+            "preparation_attempts": trace.preparation_attempts,
+            "edge_rotations": trace.edge_rotations,
+        } for trace in result.traces],
+    }
+
+
+def result_from_dict(payload: Dict[str, object]) -> SimulationResult:
+    """Inverse of :func:`result_to_dict`."""
+    traces = [GateTrace(
+        gate_index=item["gate_index"],
+        kind=item["kind"],
+        qubits=tuple(item["qubits"]),
+        scheduled_cycle=item["scheduled_cycle"],
+        start_cycle=item["start_cycle"],
+        end_cycle=item["end_cycle"],
+        injections=item.get("injections", 0),
+        preparation_attempts=item.get("preparation_attempts", 0),
+        edge_rotations=item.get("edge_rotations", 0),
+    ) for item in payload.get("traces", [])]
+    return SimulationResult(
+        benchmark=payload["benchmark"],
+        scheduler=payload["scheduler"],
+        seed=payload["seed"],
+        total_cycles=payload["total_cycles"],
+        num_qubits=payload["num_qubits"],
+        traces=traces,
+        data_busy_cycles={int(k): v for k, v in
+                          payload.get("data_busy_cycles", {}).items()},
+        config_summary=payload.get("config_summary", ""),
+        metadata=dict(payload.get("metadata", {})),
+    )
+
+
+def results_to_json(results: Iterable[SimulationResult],
+                    indent: Optional[int] = 2) -> str:
+    """Serialise several results as one JSON document."""
+    return json.dumps([result_to_dict(result) for result in results],
+                      indent=indent)
+
+
+def results_from_json(text: str) -> List[SimulationResult]:
+    """Parse a document produced by :func:`results_to_json`."""
+    payload = json.loads(text)
+    if not isinstance(payload, list):
+        raise ValueError("expected a JSON list of results")
+    return [result_from_dict(item) for item in payload]
+
+
+def traces_to_csv(result: SimulationResult) -> str:
+    """Flatten a result's per-gate traces into CSV (one row per gate)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(["benchmark", "scheduler", "seed", "gate_index", "kind",
+                     "qubits", "scheduled_cycle", "start_cycle", "end_cycle",
+                     "latency_after_schedule", "injections",
+                     "preparation_attempts", "edge_rotations"])
+    for trace in result.traces:
+        writer.writerow([
+            result.benchmark, result.scheduler, result.seed,
+            trace.gate_index, trace.kind,
+            " ".join(str(q) for q in trace.qubits),
+            trace.scheduled_cycle, trace.start_cycle, trace.end_cycle,
+            trace.latency_after_schedule, trace.injections,
+            trace.preparation_attempts, trace.edge_rotations,
+        ])
+    return buffer.getvalue()

@@ -1,0 +1,85 @@
+"""Plain-text rendering of experiment outputs (tables and series).
+
+The paper's artifact emits SVG plots; this reproduction prints the same data
+as aligned text tables so results are inspectable in CI logs and in the
+EXPERIMENTS.md record.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+__all__ = ["format_table", "format_histogram", "format_normalised_summary"]
+
+
+def format_table(rows: Sequence[Mapping[str, object]],
+                 columns: Optional[Sequence[str]] = None,
+                 title: Optional[str] = None) -> str:
+    """Render a list of dict rows as an aligned text table."""
+    if not rows:
+        return (title + "\n(empty)\n") if title else "(empty)\n"
+    if columns is None:
+        columns = list(rows[0].keys())
+    rendered_rows = [[_fmt(row.get(col, "")) for col in columns] for row in rows]
+    widths = [max(len(str(col)), *(len(row[i]) for row in rendered_rows))
+              for i, col in enumerate(columns)]
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(str(col).ljust(widths[i]) for i, col in enumerate(columns))
+    lines.append(header)
+    lines.append("  ".join("-" * width for width in widths))
+    for row in rendered_rows:
+        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(columns))))
+    return "\n".join(lines) + "\n"
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.3g}"
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def format_histogram(histogram: Mapping[int, int], title: str = "",
+                     width: int = 40) -> str:
+    """Render a latency histogram as a horizontal text bar chart (Figure 5 style)."""
+    lines = [title] if title else []
+    if not histogram:
+        lines.append("(empty)")
+        return "\n".join(lines) + "\n"
+    peak = max(histogram.values())
+    total = sum(histogram.values())
+    for bucket in sorted(histogram):
+        count = histogram[bucket]
+        bar = "#" * max(1, int(round(width * count / peak)))
+        share = 100.0 * count / total
+        lines.append(f"{bucket:>4} cycles | {bar} {count} ({share:.1f}%)")
+    return "\n".join(lines) + "\n"
+
+
+def format_normalised_summary(summary, title: str = "Normalised execution time"
+                              ) -> str:
+    """Render an :class:`~repro.analysis.experiments.ExecutionSummary` table."""
+    schedulers = summary.schedulers()
+    rows: List[Dict[str, object]] = []
+    for benchmark, per_scheduler in summary.normalised().items():
+        row: Dict[str, object] = {"benchmark": benchmark}
+        for name in schedulers:
+            if name in per_scheduler:
+                row[name] = round(per_scheduler[name], 3)
+        rows.append(row)
+    table = format_table(rows, columns=["benchmark"] + schedulers, title=title)
+    speedup_lines = []
+    for name in schedulers:
+        if name == summary.baseline:
+            continue
+        speedup = summary.geomean_speedup(scheduler=name, over=summary.baseline)
+        if speedup:
+            speedup_lines.append(
+                f"geomean speedup of {name} over {summary.baseline}: "
+                f"{speedup:.2f}x")
+    return table + ("\n".join(speedup_lines) + "\n" if speedup_lines else "")

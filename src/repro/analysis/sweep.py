@@ -1,0 +1,136 @@
+"""Parameter sweeps behind the sensitivity figures (Section 5.2, 5.3).
+
+Each sweep runs a set of schedulers on a set of benchmarks while varying one
+parameter (code distance, physical error rate, MST period, or grid
+compression), returning flat rows that the benchmark harnesses and examples
+print as the series of Figures 11-14.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..circuits import Circuit
+from ..fabric import StarVariant, compress_layout, star_layout
+from ..sim import SimulationConfig, compare_schedulers, default_layout
+
+__all__ = ["SweepRow", "sweep_distance", "sweep_error_rate",
+           "sweep_mst_period", "sweep_compression"]
+
+
+@dataclass(frozen=True)
+class SweepRow:
+    """One measured point of a sensitivity sweep."""
+
+    benchmark: str
+    scheduler: str
+    parameter: str
+    value: float
+    mean_cycles: float
+    min_cycles: float
+    max_cycles: float
+    idle_fraction: float
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "benchmark": self.benchmark,
+            "scheduler": self.scheduler,
+            self.parameter: self.value,
+            "mean_cycles": round(self.mean_cycles, 2),
+            "min_cycles": self.min_cycles,
+            "max_cycles": self.max_cycles,
+            "idle_fraction": round(self.idle_fraction, 4),
+        }
+
+
+def _sweep(schedulers, circuits: Sequence[Circuit], parameter: str,
+           values: Sequence[float], config_for, layout_for,
+           seeds: int) -> List[SweepRow]:
+    rows: List[SweepRow] = []
+    for circuit in circuits:
+        for value in values:
+            config = config_for(value)
+            layout = layout_for(circuit, value)
+            comparison = compare_schedulers(schedulers, circuit, config=config,
+                                            layout=layout, seeds=seeds)
+            for name, cell in comparison.items():
+                rows.append(SweepRow(
+                    benchmark=circuit.name,
+                    scheduler=name,
+                    parameter=parameter,
+                    value=value,
+                    mean_cycles=cell.mean_cycles,
+                    min_cycles=cell.min_cycles,
+                    max_cycles=cell.max_cycles,
+                    idle_fraction=cell.mean_idle_fraction,
+                ))
+    return rows
+
+
+def sweep_distance(schedulers, circuits: Sequence[Circuit],
+                   distances: Sequence[int] = (5, 7, 9, 11, 13),
+                   physical_error_rate: float = 1e-4,
+                   mst_period: int = 25,
+                   seeds: int = 3) -> List[SweepRow]:
+    """Figure 11: sensitivity to the code distance at fixed p."""
+    base = SimulationConfig(physical_error_rate=physical_error_rate,
+                            mst_period=mst_period)
+    return _sweep(
+        schedulers, circuits, "distance", list(distances),
+        config_for=lambda d: base.with_updates(distance=int(d)),
+        layout_for=lambda circuit, _value: default_layout(circuit),
+        seeds=seeds)
+
+
+def sweep_error_rate(schedulers, circuits: Sequence[Circuit],
+                     error_rates: Sequence[float] = (1e-3, 3e-4, 1e-4, 3e-5, 1e-5),
+                     distance: int = 7,
+                     mst_period: int = 25,
+                     seeds: int = 3) -> List[SweepRow]:
+    """Figure 12: sensitivity to the physical qubit error rate at fixed d."""
+    base = SimulationConfig(distance=distance, mst_period=mst_period)
+    return _sweep(
+        schedulers, circuits, "physical_error_rate", list(error_rates),
+        config_for=lambda p: base.with_updates(physical_error_rate=float(p)),
+        layout_for=lambda circuit, _value: default_layout(circuit),
+        seeds=seeds)
+
+
+def sweep_mst_period(schedulers, circuits: Sequence[Circuit],
+                     periods: Sequence[int] = (25, 50, 100, 200),
+                     distance: int = 7,
+                     physical_error_rate: float = 1e-4,
+                     seeds: int = 3) -> List[SweepRow]:
+    """Figure 13: RESCQ's sensitivity to the MST recomputation period k."""
+    base = SimulationConfig(distance=distance,
+                            physical_error_rate=physical_error_rate)
+    return _sweep(
+        schedulers, circuits, "mst_period", list(periods),
+        config_for=lambda k: base.with_updates(mst_period=int(k)),
+        layout_for=lambda circuit, _value: default_layout(circuit),
+        seeds=seeds)
+
+
+def sweep_compression(schedulers, circuits: Sequence[Circuit],
+                      compressions: Sequence[float] = (0.0, 0.25, 0.5, 0.75, 1.0),
+                      distance: int = 7,
+                      physical_error_rate: float = 1e-4,
+                      mst_period: int = 25,
+                      seeds: int = 3) -> List[SweepRow]:
+    """Figure 14: sensitivity to the ancilla availability (grid compression)."""
+    base = SimulationConfig(distance=distance,
+                            physical_error_rate=physical_error_rate,
+                            mst_period=mst_period)
+
+    def layout_for(circuit: Circuit, fraction: float):
+        layout = star_layout(circuit.num_qubits, StarVariant.STAR)
+        if fraction > 0:
+            layout, _report = compress_layout(layout, fraction, seed=13)
+        return layout
+
+    return _sweep(
+        schedulers, circuits, "compression", list(compressions),
+        config_for=lambda _value: base,
+        layout_for=layout_for,
+        seeds=seeds)

@@ -1,0 +1,174 @@
+"""Text serialisation of circuits.
+
+Two formats are supported:
+
+* the **artifact format** from the paper's appendix B.7 — first line is the
+  number of gates, then one gate per line as
+  ``<gate name> <qubit(s)> <rotation angle for Rz gates>``;
+* a pragmatic subset of **OpenQASM 2.0** sufficient to round-trip the circuits
+  produced by the workload generators (``qreg``, ``rz``, ``h``, ``x``, ``z``,
+  ``s``, ``t``, ``cx``, ``measure``, ``barrier``).
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import List, Optional
+
+from .circuit import Circuit
+from .gates import Gate, GateType
+
+__all__ = [
+    "to_artifact_format",
+    "from_artifact_format",
+    "to_qasm",
+    "from_qasm",
+]
+
+
+# ---------------------------------------------------------------------------
+# Artifact format (appendix B.7)
+# ---------------------------------------------------------------------------
+
+def to_artifact_format(circuit: Circuit) -> str:
+    """Serialise ``circuit`` in the simulator input format from appendix B.7."""
+    lines: List[str] = []
+    emitted = 0
+    for gate in circuit:
+        if gate.gate_type is GateType.BARRIER:
+            continue
+        qubits = " ".join(str(q) for q in gate.qubits)
+        if gate.gate_type is GateType.RZ:
+            lines.append(f"rz {qubits} {gate.angle!r}")
+        else:
+            lines.append(f"{gate.gate_type.value} {qubits}")
+        emitted += 1
+    return "\n".join([str(emitted)] + lines) + "\n"
+
+
+def from_artifact_format(text: str, name: str = "circuit",
+                         num_qubits: Optional[int] = None) -> Circuit:
+    """Parse the appendix B.7 format back into a :class:`Circuit`."""
+    lines = [line.strip() for line in text.splitlines() if line.strip()]
+    if not lines:
+        raise ValueError("empty circuit text")
+    try:
+        declared = int(lines[0])
+    except ValueError as exc:
+        raise ValueError("first line must be the total number of gates") from exc
+    body = lines[1:]
+    if len(body) != declared:
+        raise ValueError(
+            f"declared {declared} gates but found {len(body)} gate lines")
+
+    gates: List[Gate] = []
+    max_qubit = -1
+    for line in body:
+        parts = line.split()
+        gate_name = parts[0].lower()
+        try:
+            gate_type = GateType(gate_name)
+        except ValueError as exc:
+            raise ValueError(f"unknown gate {gate_name!r}") from exc
+        operand_count = gate_type.num_qubits
+        qubits = tuple(int(tok) for tok in parts[1:1 + operand_count])
+        angle = None
+        if gate_type is GateType.RZ:
+            if len(parts) < operand_count + 2:
+                raise ValueError(f"rz line missing angle: {line!r}")
+            angle = float(parts[operand_count + 1])
+        gates.append(Gate(gate_type, qubits, angle=angle))
+        if qubits:
+            max_qubit = max(max_qubit, max(qubits))
+
+    size = num_qubits if num_qubits is not None else max_qubit + 1
+    return Circuit(max(size, 1), name=name, gates=gates)
+
+
+# ---------------------------------------------------------------------------
+# OpenQASM 2.0 subset
+# ---------------------------------------------------------------------------
+
+_QASM_HEADER = 'OPENQASM 2.0;\ninclude "qelib1.inc";\n'
+_QREG_RE = re.compile(r"qreg\s+(\w+)\s*\[\s*(\d+)\s*\]")
+_GATE_RE = re.compile(
+    r"(?P<name>[a-z]+)\s*(\((?P<angle>[^)]*)\))?\s+(?P<operands>[^;]+);")
+_OPERAND_RE = re.compile(r"(\w+)\s*\[\s*(\d+)\s*\]")
+
+_QASM_NAMES = {
+    "rz": GateType.RZ, "h": GateType.H, "x": GateType.X, "z": GateType.Z,
+    "s": GateType.S, "sdg": GateType.SDG, "t": GateType.T, "tdg": GateType.TDG,
+    "y": GateType.Y, "cx": GateType.CNOT, "cz": GateType.CZ,
+    "swap": GateType.SWAP, "rx": GateType.RX, "ry": GateType.RY,
+    "rzz": GateType.RZZ, "measure": GateType.MEASURE,
+}
+
+
+def to_qasm(circuit: Circuit) -> str:
+    """Serialise ``circuit`` as OpenQASM 2.0 text."""
+    lines = [_QASM_HEADER.rstrip("\n"), f"qreg q[{circuit.num_qubits}];",
+             f"creg c[{circuit.num_qubits}];"]
+    for gate in circuit:
+        if gate.gate_type is GateType.BARRIER:
+            lines.append("barrier q;")
+            continue
+        operands = ",".join(f"q[{q}]" for q in gate.qubits)
+        if gate.gate_type is GateType.MEASURE:
+            qubit = gate.qubits[0]
+            lines.append(f"measure q[{qubit}] -> c[{qubit}];")
+        elif gate.angle is not None:
+            lines.append(f"{gate.gate_type.value}({gate.angle!r}) {operands};")
+        else:
+            lines.append(f"{gate.gate_type.value} {operands};")
+    return "\n".join(lines) + "\n"
+
+
+def _parse_angle(expression: str) -> float:
+    """Evaluate the restricted arithmetic allowed in QASM angle expressions."""
+    allowed = {"pi": math.pi}
+    cleaned = expression.strip()
+    if not re.fullmatch(r"[0-9eE\.\+\-\*/\(\)\s]*|.*pi.*", cleaned):
+        raise ValueError(f"unsupported angle expression {expression!r}")
+    if re.search(r"[^0-9eE\.\+\-\*/\(\)\spi]", cleaned):
+        raise ValueError(f"unsupported angle expression {expression!r}")
+    return float(eval(cleaned, {"__builtins__": {}}, allowed))  # noqa: S307
+
+
+def from_qasm(text: str, name: str = "circuit") -> Circuit:
+    """Parse the OpenQASM 2.0 subset emitted by :func:`to_qasm`."""
+    num_qubits = None
+    for match in _QREG_RE.finditer(text):
+        size = int(match.group(2))
+        num_qubits = size if num_qubits is None else num_qubits + size
+    if num_qubits is None:
+        raise ValueError("QASM text does not declare a qreg")
+
+    circuit = Circuit(num_qubits, name=name)
+    for raw_line in text.splitlines():
+        line = raw_line.split("//")[0].strip()
+        if (not line or line.startswith("OPENQASM") or line.startswith("include")
+                or line.startswith("qreg") or line.startswith("creg")):
+            continue
+        if line.startswith("barrier"):
+            circuit.append(Gate(GateType.BARRIER, ()))
+            continue
+        if line.startswith("measure"):
+            operands = _OPERAND_RE.findall(line)
+            if operands:
+                circuit.append(Gate(GateType.MEASURE, (int(operands[0][1]),)))
+            continue
+        match = _GATE_RE.match(line)
+        if not match:
+            raise ValueError(f"cannot parse QASM line {raw_line!r}")
+        gate_name = match.group("name")
+        if gate_name not in _QASM_NAMES:
+            raise ValueError(f"unsupported QASM gate {gate_name!r}")
+        gate_type = _QASM_NAMES[gate_name]
+        qubits = tuple(int(idx) for _, idx in _OPERAND_RE.findall(
+            match.group("operands")))
+        angle = None
+        if match.group("angle") is not None:
+            angle = _parse_angle(match.group("angle"))
+        circuit.append(Gate(gate_type, qubits, angle=angle))
+    return circuit

@@ -1,0 +1,137 @@
+"""Lowering arbitrary workload circuits into the Clifford+Rz scheduler basis.
+
+The paper compiles every benchmark into the basis ``{Rz, H, X, CNOT}`` with
+Qiskit (Section 5.1).  We do not depend on Qiskit; instead this module
+implements the standard textbook decompositions for every gate the workload
+generators emit, which is sufficient because those generators only use a small
+well-known gate vocabulary (rotations, controlled-phase, swap, Toffoli, ...).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List
+
+from .circuit import Circuit
+from .gates import Gate, GateType
+
+__all__ = ["transpile_to_clifford_rz", "decompose_gate", "BASIS"]
+
+#: Scheduler basis (Section 3).  S/Sdg/T/Tdg/Z are retained because they are
+#: Rz rotations by construction and the scheduler classifies them by angle.
+BASIS = (GateType.RZ, GateType.H, GateType.X, GateType.CNOT,
+         GateType.MEASURE, GateType.BARRIER)
+
+
+def _rz(qubit: int, theta: float) -> Gate:
+    return Gate(GateType.RZ, (qubit,), angle=theta)
+
+
+def _h(qubit: int) -> Gate:
+    return Gate(GateType.H, (qubit,))
+
+
+def _cx(control: int, target: int) -> Gate:
+    return Gate(GateType.CNOT, (control, target))
+
+
+def decompose_gate(gate: Gate) -> List[Gate]:
+    """Decompose a single gate into the ``{Rz, H, X, CNOT}`` basis.
+
+    Decompositions are exact up to global phase.  Gates already in the basis
+    are returned unchanged (as a single-element list).
+    """
+    gtype = gate.gate_type
+    qubits = gate.qubits
+
+    if gtype in (GateType.RZ, GateType.H, GateType.X, GateType.CNOT,
+                 GateType.MEASURE, GateType.BARRIER):
+        return [gate]
+
+    if gtype is GateType.Z:
+        return [_rz(qubits[0], math.pi)]
+    if gtype is GateType.S:
+        return [_rz(qubits[0], math.pi / 2)]
+    if gtype is GateType.SDG:
+        return [_rz(qubits[0], -math.pi / 2)]
+    if gtype is GateType.T:
+        return [_rz(qubits[0], math.pi / 4)]
+    if gtype is GateType.TDG:
+        return [_rz(qubits[0], -math.pi / 4)]
+    if gtype is GateType.Y:
+        # Y = Z X (up to global phase)
+        return [_rz(qubits[0], math.pi), Gate(GateType.X, (qubits[0],))]
+
+    if gtype is GateType.RX:
+        # Rx(t) = H Rz(t) H
+        q = qubits[0]
+        return [_h(q), _rz(q, gate.angle), _h(q)]
+    if gtype is GateType.RY:
+        # Ry(t) = Sdg H Rz(t) H S  (i.e. Rz(-pi/2) H Rz(t) H Rz(pi/2))
+        q = qubits[0]
+        return [_rz(q, -math.pi / 2), _h(q), _rz(q, gate.angle), _h(q),
+                _rz(q, math.pi / 2)]
+    if gtype is GateType.U3:
+        # u3(theta, phi, lam) ~ Rz(phi) Ry(theta) Rz(lam); angle stores theta
+        # only when emitted by generators we control, so this branch is not
+        # produced by the built-in workloads and exists for completeness.
+        q = qubits[0]
+        theta = gate.angle or 0.0
+        return decompose_gate(Gate(GateType.RY, (q,), angle=theta))
+
+    if gtype is GateType.CZ:
+        control, target = qubits
+        return [_h(target), _cx(control, target), _h(target)]
+    if gtype is GateType.SWAP:
+        a, b = qubits
+        return [_cx(a, b), _cx(b, a), _cx(a, b)]
+    if gtype is GateType.RZZ:
+        # Rzz(t) = CX . Rz(t) on target . CX
+        control, target = qubits
+        return [_cx(control, target), _rz(target, gate.angle),
+                _cx(control, target)]
+
+    if gtype is GateType.CCX:
+        # Standard 6-CNOT Toffoli decomposition with T gates expressed as Rz.
+        a, b, c = qubits
+        t = math.pi / 4
+        return [
+            _h(c),
+            _cx(b, c), _rz(c, -t),
+            _cx(a, c), _rz(c, t),
+            _cx(b, c), _rz(c, -t),
+            _cx(a, c), _rz(b, t), _rz(c, t),
+            _cx(a, b), _h(c),
+            _rz(a, t), _rz(b, -t),
+            _cx(a, b),
+        ]
+
+    raise ValueError(f"no decomposition registered for gate type {gtype!r}")
+
+
+def transpile_to_clifford_rz(circuit: Circuit,
+                             drop_identity: bool = True) -> Circuit:
+    """Lower every gate of ``circuit`` into the Clifford+Rz basis.
+
+    Parameters
+    ----------
+    circuit:
+        The input circuit, possibly containing high-level gates (CZ, SWAP,
+        RX, RY, RZZ, CCX, ...).
+    drop_identity:
+        When ``True`` (default), Rz rotations with an angle that is an exact
+        multiple of ``2*pi`` are removed entirely.
+    """
+    out = Circuit(circuit.num_qubits, name=circuit.name)
+    for gate in circuit:
+        for lowered in decompose_gate(gate):
+            if (drop_identity and lowered.gate_type is GateType.RZ
+                    and _is_identity_angle(lowered.angle)):
+                continue
+            out.append(lowered)
+    return out
+
+
+def _is_identity_angle(theta: float) -> bool:
+    ratio = theta / (2 * math.pi)
+    return abs(ratio - round(ratio)) < 1e-12

@@ -1,0 +1,163 @@
+"""Command-line interface: ``python -m repro`` / ``rescq``.
+
+Subcommands
+-----------
+
+``list``
+    Print the Table 3 benchmark registry (paper vs generated gate counts).
+``run``
+    Execute one benchmark under one or more schedulers and print cycles.
+``sweep``
+    Run one of the sensitivity sweeps (distance, error-rate, mst-period,
+    compression) on a benchmark.
+``prep``
+    Print the Figure 16 preparation-statistics table.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from .analysis import (
+    format_table,
+    run_execution_comparison,
+    sweep_compression,
+    sweep_distance,
+    sweep_error_rate,
+    sweep_mst_period,
+)
+from .analysis.report import format_normalised_summary
+from .rus import PreparationModel
+from .scheduling import AutoBraidScheduler, GreedyScheduler, RescqScheduler
+from .sim import SimulationConfig, compare_schedulers
+from .workloads import get_benchmark, table3_rows
+
+__all__ = ["main", "build_parser"]
+
+_SCHEDULERS = {
+    "greedy": GreedyScheduler,
+    "autobraid": AutoBraidScheduler,
+    "rescq": RescqScheduler,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="rescq",
+        description="RESCQ reproduction: realtime scheduling for continuous-"
+                    "angle QEC architectures")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the Table 3 benchmarks")
+
+    run_parser = sub.add_parser("run", help="run one benchmark")
+    run_parser.add_argument("benchmark", help="benchmark name, e.g. qft_n18")
+    run_parser.add_argument("--schedulers", default="greedy,autobraid,rescq",
+                            help="comma-separated scheduler names")
+    run_parser.add_argument("--distance", type=int, default=7)
+    run_parser.add_argument("--error-rate", type=float, default=1e-4)
+    run_parser.add_argument("--mst-period", type=int, default=25)
+    run_parser.add_argument("--compression", type=float, default=0.0)
+    run_parser.add_argument("--seeds", type=int, default=3)
+
+    sweep_parser = sub.add_parser("sweep", help="run a sensitivity sweep")
+    sweep_parser.add_argument("kind", choices=["distance", "error-rate",
+                                               "mst-period", "compression"])
+    sweep_parser.add_argument("benchmark", help="benchmark name, e.g. qft_n18")
+    sweep_parser.add_argument("--seeds", type=int, default=2)
+
+    prep_parser = sub.add_parser("prep", help="Figure 16 preparation statistics")
+    prep_parser.add_argument("--distances", default="5,7,9,11,13")
+    prep_parser.add_argument("--error-rates", default="1e-3,1e-4,1e-5")
+    return parser
+
+
+def _schedulers_from_names(names: str) -> List:
+    schedulers = []
+    for name in names.split(","):
+        name = name.strip().lower()
+        if name not in _SCHEDULERS:
+            raise SystemExit(f"unknown scheduler {name!r}; "
+                             f"choose from {sorted(_SCHEDULERS)}")
+        schedulers.append(_SCHEDULERS[name]())
+    return schedulers
+
+
+def _command_list() -> int:
+    print(format_table(table3_rows(), title="Table 3 benchmarks"))
+    return 0
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    spec = get_benchmark(args.benchmark)
+    circuit = spec.build()
+    config = SimulationConfig(distance=args.distance,
+                              physical_error_rate=args.error_rate,
+                              mst_period=args.mst_period)
+    schedulers = _schedulers_from_names(args.schedulers)
+    rows = compare_schedulers(schedulers, circuit, config=config,
+                              seeds=args.seeds, compression=args.compression)
+    table = [{
+        "scheduler": name,
+        "mean_cycles": round(cell.mean_cycles, 1),
+        "min": cell.min_cycles,
+        "max": cell.max_cycles,
+        "idle_fraction": round(cell.mean_idle_fraction, 3),
+    } for name, cell in rows.items()]
+    print(format_table(table, title=f"{spec.name} ({config.describe()})"))
+    return 0
+
+
+def _command_sweep(args: argparse.Namespace) -> int:
+    spec = get_benchmark(args.benchmark)
+    circuit = spec.build()
+    schedulers = [GreedyScheduler(), AutoBraidScheduler(), RescqScheduler()]
+    if args.kind == "distance":
+        rows = sweep_distance(schedulers, [circuit], seeds=args.seeds)
+    elif args.kind == "error-rate":
+        rows = sweep_error_rate(schedulers, [circuit], seeds=args.seeds)
+    elif args.kind == "mst-period":
+        rows = sweep_mst_period([RescqScheduler()], [circuit], seeds=args.seeds)
+    else:
+        rows = sweep_compression(schedulers, [circuit], seeds=args.seeds)
+    print(format_table([row.as_dict() for row in rows],
+                       title=f"{args.kind} sweep for {spec.name}"))
+    return 0
+
+
+def _command_prep(args: argparse.Namespace) -> int:
+    distances = [int(token) for token in args.distances.split(",")]
+    error_rates = [float(token) for token in args.error_rates.split(",")]
+    rows = []
+    for p in error_rates:
+        for d in distances:
+            model = PreparationModel(distance=d, physical_error_rate=p)
+            rows.append({
+                "p": p,
+                "d": d,
+                "expected_attempts": round(model.expected_attempts(), 3),
+                "expected_cycles": round(model.expected_cycles(), 3),
+            })
+    print(format_table(rows, title="Figure 16: |m_theta> preparation statistics"))
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        return _command_list()
+    if args.command == "run":
+        return _command_run(args)
+    if args.command == "sweep":
+        return _command_sweep(args)
+    if args.command == "prep":
+        return _command_prep(args)
+    parser.error(f"unknown command {args.command!r}")  # pragma: no cover
+    return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

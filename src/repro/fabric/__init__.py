@@ -1,0 +1,27 @@
+"""Surface-code fabric: tiles, STAR layouts, and grid compression."""
+
+from .compression import (
+    CompressionReport,
+    ancilla_subgraph_connected,
+    block_ancillas,
+    compress_layout,
+)
+from .layout import GridLayout
+from .star import StarVariant, block_grid_shape, star_layout
+from .tile import Edge, Position, Tile, TileType, manhattan
+
+__all__ = [
+    "Edge",
+    "Position",
+    "Tile",
+    "TileType",
+    "manhattan",
+    "GridLayout",
+    "StarVariant",
+    "star_layout",
+    "block_grid_shape",
+    "CompressionReport",
+    "compress_layout",
+    "block_ancillas",
+    "ancilla_subgraph_connected",
+]

@@ -1,0 +1,214 @@
+"""The logical tile grid (``GridLayout``) onto which programs are mapped.
+
+The layout is *static*: it records which tiles are data, ancilla, or disabled
+and which program qubit each data tile holds.  Runtime state (edge
+orientation, tile busy times, activity) lives in the simulator.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from .tile import Edge, Position, Tile, TileType, manhattan
+
+__all__ = ["GridLayout"]
+
+
+class GridLayout:
+    """A ``rows x cols`` grid of tiles.
+
+    Parameters
+    ----------
+    rows, cols:
+        Grid dimensions.
+    data_positions:
+        Mapping from program qubit index to grid position.  Every listed
+        position becomes a DATA tile; all other in-grid positions start as
+        ANCILLA tiles.
+    name:
+        Human-readable layout name (used in reports).
+    """
+
+    def __init__(self, rows: int, cols: int,
+                 data_positions: Dict[int, Position],
+                 name: str = "grid") -> None:
+        if rows <= 0 or cols <= 0:
+            raise ValueError("grid dimensions must be positive")
+        self.rows = rows
+        self.cols = cols
+        self.name = name
+        self._tiles: Dict[Position, Tile] = {}
+        self._data_positions: Dict[int, Position] = dict(data_positions)
+
+        seen_positions: Set[Position] = set()
+        for qubit, position in self._data_positions.items():
+            if not self.in_bounds(position):
+                raise ValueError(f"data qubit {qubit} at {position} is out of bounds")
+            if position in seen_positions:
+                raise ValueError(f"two data qubits mapped to {position}")
+            seen_positions.add(position)
+
+        for row in range(rows):
+            for col in range(cols):
+                position = (row, col)
+                self._tiles[position] = Tile(position, TileType.ANCILLA)
+        for qubit, position in self._data_positions.items():
+            self._tiles[position] = Tile(position, TileType.DATA, data_index=qubit)
+
+    # -- basic queries -----------------------------------------------------------
+
+    @property
+    def num_data_qubits(self) -> int:
+        return len(self._data_positions)
+
+    @property
+    def data_positions(self) -> Dict[int, Position]:
+        return dict(self._data_positions)
+
+    def in_bounds(self, position: Position) -> bool:
+        row, col = position
+        return 0 <= row < self.rows and 0 <= col < self.cols
+
+    def tile(self, position: Position) -> Tile:
+        return self._tiles[position]
+
+    def tile_type(self, position: Position) -> TileType:
+        return self._tiles[position].tile_type
+
+    def is_ancilla(self, position: Position) -> bool:
+        return (self.in_bounds(position)
+                and self._tiles[position].tile_type is TileType.ANCILLA)
+
+    def is_data(self, position: Position) -> bool:
+        return (self.in_bounds(position)
+                and self._tiles[position].tile_type is TileType.DATA)
+
+    def is_disabled(self, position: Position) -> bool:
+        return (not self.in_bounds(position)
+                or self._tiles[position].tile_type is TileType.DISABLED)
+
+    def data_position(self, qubit: int) -> Position:
+        return self._data_positions[qubit]
+
+    def data_qubit_at(self, position: Position) -> Optional[int]:
+        tile = self._tiles.get(position)
+        if tile is not None and tile.is_data:
+            return tile.data_index
+        return None
+
+    def ancilla_positions(self) -> List[Position]:
+        return [pos for pos, tile in sorted(self._tiles.items())
+                if tile.is_ancilla]
+
+    def positions(self) -> Iterator[Position]:
+        return iter(sorted(self._tiles))
+
+    @property
+    def num_ancilla(self) -> int:
+        return sum(1 for tile in self._tiles.values() if tile.is_ancilla)
+
+    @property
+    def ancilla_per_data(self) -> float:
+        if not self._data_positions:
+            return 0.0
+        return self.num_ancilla / len(self._data_positions)
+
+    # -- adjacency ---------------------------------------------------------------
+
+    def neighbors(self, position: Position) -> List[Position]:
+        """In-bounds, non-disabled neighbours of ``position``."""
+        result = []
+        for edge in Edge:
+            neighbor = edge.neighbor(position)
+            if self.in_bounds(neighbor) and not self.is_disabled(neighbor):
+                result.append(neighbor)
+        return result
+
+    def ancilla_neighbors(self, position: Position) -> List[Position]:
+        """Neighbouring ANCILLA tiles of ``position``."""
+        return [pos for pos in self.neighbors(position) if self.is_ancilla(pos)]
+
+    def ancilla_neighbors_of_qubit(self, qubit: int) -> List[Position]:
+        return self.ancilla_neighbors(self._data_positions[qubit])
+
+    def edge_to_neighbor(self, position: Position, neighbor: Position) -> Edge:
+        return Edge.between(position, neighbor)
+
+    # -- mutation (used by compression) --------------------------------------------
+
+    def disable(self, position: Position) -> None:
+        """Remove an ancilla tile from the fabric (grid compression)."""
+        tile = self._tiles[position]
+        if tile.is_data:
+            raise ValueError(f"cannot disable data tile at {position}")
+        self._tiles[position] = Tile(position, TileType.DISABLED)
+
+    def enable_ancilla(self, position: Position) -> None:
+        """Re-enable a previously disabled position as an ancilla tile."""
+        tile = self._tiles[position]
+        if tile.is_data:
+            raise ValueError(f"{position} holds a data qubit")
+        self._tiles[position] = Tile(position, TileType.ANCILLA)
+
+    # -- connectivity ------------------------------------------------------------
+
+    def active_positions(self) -> List[Position]:
+        return [pos for pos, tile in sorted(self._tiles.items())
+                if not tile.is_disabled]
+
+    def is_connected(self) -> bool:
+        """True when all non-disabled tiles form one connected component.
+
+        Connectivity over *all* active tiles (data and ancilla) is the
+        invariant grid compression must preserve (Section 5.3: "while still
+        ensuring the grid remains connected").
+        """
+        active = self.active_positions()
+        if not active:
+            return True
+        seen: Set[Position] = set()
+        queue = deque([active[0]])
+        seen.add(active[0])
+        while queue:
+            current = queue.popleft()
+            for neighbor in self.neighbors(current):
+                if neighbor not in seen:
+                    seen.add(neighbor)
+                    queue.append(neighbor)
+        return len(seen) == len(active)
+
+    def every_data_qubit_has_ancilla_neighbor(self) -> bool:
+        """True when every data qubit retains at least one adjacent ancilla."""
+        return all(self.ancilla_neighbors(pos)
+                   for pos in self._data_positions.values())
+
+    # -- misc --------------------------------------------------------------------
+
+    def copy(self) -> "GridLayout":
+        clone = GridLayout(self.rows, self.cols, self._data_positions,
+                           name=self.name)
+        for position, tile in self._tiles.items():
+            if tile.is_disabled:
+                clone.disable(position)
+        return clone
+
+    def ascii_art(self) -> str:
+        """Render the grid for debugging: D=data, .=ancilla, space=disabled."""
+        lines = []
+        for row in range(self.rows):
+            chars = []
+            for col in range(self.cols):
+                tile = self._tiles[(row, col)]
+                if tile.is_data:
+                    chars.append("D")
+                elif tile.is_ancilla:
+                    chars.append(".")
+                else:
+                    chars.append(" ")
+            lines.append("".join(chars))
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"GridLayout(name={self.name!r}, {self.rows}x{self.cols}, "
+                f"data={self.num_data_qubits}, ancilla={self.num_ancilla})")

@@ -1,0 +1,113 @@
+"""STAR architecture layout builders (Section 2.2 and Figure 1c).
+
+[Akahoshi et al. 2024] define three atomic blocks around each data qubit:
+
+* **STAR** — a 2x2 block: 1 data tile + 3 ancilla tiles;
+* **compact STAR** — a 3x1 block: 1 data tile + 2 ancilla tiles;
+* **compressed STAR** — a 2x1 block: 1 data tile + 1 ancilla tile.
+
+The builders below tile those blocks into a near-square grid of blocks with
+the data qubit at the top-left corner of its block (program qubit ``q`` maps
+to block ``(q // block_cols, q % block_cols)``), which realises the one-to-one
+qubit mapping used in Section 5.1.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from typing import Dict, Optional, Tuple
+
+from .layout import GridLayout
+from .tile import Position
+
+__all__ = ["StarVariant", "star_layout", "block_grid_shape"]
+
+
+class StarVariant(enum.Enum):
+    """The three STAR block shapes from [1], ordered by ancilla budget."""
+
+    STAR = "star"              # 2x2 block, 3 ancilla per data
+    COMPACT = "compact"        # 3x1 block, 2 ancilla per data
+    COMPRESSED = "compressed"  # 2x1 block, 1 ancilla per data
+
+    @property
+    def block_shape(self) -> Tuple[int, int]:
+        if self is StarVariant.STAR:
+            return (2, 2)
+        if self is StarVariant.COMPACT:
+            return (3, 1)
+        return (2, 1)
+
+    @property
+    def ancilla_per_data(self) -> int:
+        rows, cols = self.block_shape
+        return rows * cols - 1
+
+
+def block_grid_shape(num_data_qubits: int,
+                     block_cols: Optional[int] = None) -> Tuple[int, int]:
+    """Near-square arrangement of ``num_data_qubits`` blocks.
+
+    Returns ``(block_rows, block_cols)`` with
+    ``block_rows * block_cols >= num_data_qubits``.
+    """
+    if num_data_qubits <= 0:
+        raise ValueError("need at least one data qubit")
+    if block_cols is None:
+        block_cols = int(math.ceil(math.sqrt(num_data_qubits)))
+    block_rows = int(math.ceil(num_data_qubits / block_cols))
+    return block_rows, block_cols
+
+
+def star_layout(num_data_qubits: int,
+                variant: StarVariant = StarVariant.STAR,
+                block_cols: Optional[int] = None,
+                seed: int = 0) -> GridLayout:
+    """Build a grid layout tiling ``num_data_qubits`` STAR blocks.
+
+    Parameters
+    ----------
+    num_data_qubits:
+        Number of program qubits to place (one per block).
+    variant:
+        Ancilla budget per data qubit.  ``STAR`` lays out literal 2x2 blocks.
+        ``COMPACT`` and ``COMPRESSED`` are realised by removing one / two
+        ancilla tiles from every block of the STAR grid subject to the
+        ancilla-connectivity invariant enforced by
+        :func:`repro.fabric.compression.compress_layout` (see the reproduction
+        note there): naive free-standing 3x1 / 2x1 block tilings would leave
+        the ancilla routing fabric disconnected and no CNOT between distant
+        qubits could ever be scheduled.
+    block_cols:
+        Optional override for the number of block columns (defaults to a
+        near-square arrangement).
+    seed:
+        Seed forwarded to the compression pass for the non-STAR variants.
+    """
+    block_rows, cols_of_blocks = block_grid_shape(num_data_qubits, block_cols)
+    tile_rows_per_block, tile_cols_per_block = StarVariant.STAR.block_shape
+
+    rows = block_rows * tile_rows_per_block
+    cols = cols_of_blocks * tile_cols_per_block
+
+    data_positions: Dict[int, Position] = {}
+    for qubit in range(num_data_qubits):
+        block_row, block_col = divmod(qubit, cols_of_blocks)
+        data_positions[qubit] = (block_row * tile_rows_per_block,
+                                 block_col * tile_cols_per_block)
+
+    layout = GridLayout(rows, cols, data_positions,
+                        name=f"{variant.value}_{num_data_qubits}q")
+    if variant is StarVariant.STAR:
+        return layout
+
+    # Defer the import so fabric.compression can import fabric.layout freely.
+    from .compression import compress_layout
+
+    removals = 1 if variant is StarVariant.COMPACT else 2
+    compressed, _report = compress_layout(
+        layout, fraction=1.0, seed=seed,
+        ancillas_to_remove_per_block=removals)
+    compressed.name = f"{variant.value}_{num_data_qubits}q"
+    return compressed

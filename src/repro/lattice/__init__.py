@@ -1,0 +1,20 @@
+"""Lattice-surgery operation costs, edge orientation and routing primitives."""
+
+from .operations import DEFAULT_COSTS, LatticeSurgeryCosts
+from .orientation import OrientationTracker
+from .routing import (
+    RoutePlan,
+    bfs_ancilla_path,
+    enumerate_cnot_plans,
+    find_shortest_cnot_plan,
+)
+
+__all__ = [
+    "LatticeSurgeryCosts",
+    "DEFAULT_COSTS",
+    "OrientationTracker",
+    "RoutePlan",
+    "bfs_ancilla_path",
+    "enumerate_cnot_plans",
+    "find_shortest_cnot_plan",
+]

@@ -1,0 +1,197 @@
+"""Routing primitives over the ancilla fabric.
+
+Both the static baselines and RESCQ need to turn "CNOT between qubits C and T"
+into a concrete plan: which ancilla tile attaches to the control's Z edge,
+which attaches to the target's X edge, which contiguous ancilla path connects
+the two, and whether edge rotations are needed first (Section 3.1, Figure 4).
+The *policies* differ in how they pick among candidate plans; the mechanics of
+enumerating and validating plans are shared and live here.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..fabric import Edge, GridLayout, Position
+from .operations import DEFAULT_COSTS, LatticeSurgeryCosts
+from .orientation import OrientationTracker
+
+__all__ = ["RoutePlan", "bfs_ancilla_path", "enumerate_cnot_plans",
+           "find_shortest_cnot_plan"]
+
+
+@dataclass(frozen=True)
+class RoutePlan:
+    """A concrete way to execute one CNOT.
+
+    Attributes
+    ----------
+    control / target:
+        Program qubit indices.
+    path:
+        Contiguous ancilla tiles used for the merge, ordered from the tile
+        attached to the control to the tile attached to the target (a single
+        tile may serve both roles).
+    control_rotation / target_rotation:
+        Whether an edge-rotation gate is required on the respective qubit
+        before the merge can happen.
+    rotation_ancilla_control / rotation_ancilla_target:
+        The ancilla tile used by the corresponding edge rotation (``None``
+        when no rotation is needed).
+    """
+
+    control: int
+    target: int
+    path: Tuple[Position, ...]
+    control_rotation: bool = False
+    target_rotation: bool = False
+    rotation_ancilla_control: Optional[Position] = None
+    rotation_ancilla_target: Optional[Position] = None
+
+    @property
+    def ancillas_used(self) -> Tuple[Position, ...]:
+        """Every ancilla tile the plan touches (path plus rotation helpers)."""
+        extra = [pos for pos in (self.rotation_ancilla_control,
+                                 self.rotation_ancilla_target)
+                 if pos is not None and pos not in self.path]
+        return self.path + tuple(extra)
+
+    @property
+    def num_rotations(self) -> int:
+        return int(self.control_rotation) + int(self.target_rotation)
+
+    def duration(self, costs: LatticeSurgeryCosts = DEFAULT_COSTS,
+                 sequential_rotations: Optional[bool] = None) -> int:
+        """Total cycles the plan occupies the data qubits.
+
+        Edge rotations on control and target can proceed in parallel when they
+        use *different* ancilla tiles; when they share the single available
+        ancilla they serialise, which is how the 3+3+2 = 8-cycle CNOTs of
+        Figure 5 arise.
+        """
+        if sequential_rotations is None:
+            sequential_rotations = (
+                self.control_rotation and self.target_rotation
+                and self.rotation_ancilla_control == self.rotation_ancilla_target)
+        rotation_cycles = 0
+        if self.control_rotation and self.target_rotation:
+            if sequential_rotations:
+                rotation_cycles = 2 * costs.edge_rotation_cycles
+            else:
+                rotation_cycles = costs.edge_rotation_cycles
+        elif self.control_rotation or self.target_rotation:
+            rotation_cycles = costs.edge_rotation_cycles
+        return rotation_cycles + costs.cnot_cycles
+
+
+def bfs_ancilla_path(layout: GridLayout, start: Position, goal: Position,
+                     blocked: Optional[Set[Position]] = None) -> Optional[List[Position]]:
+    """Shortest path of free ancilla tiles from ``start`` to ``goal`` inclusive.
+
+    ``blocked`` tiles cannot be used (busy ancillas).  Returns ``None`` when no
+    path exists.  ``start`` and ``goal`` must themselves be ancilla tiles not
+    in ``blocked``.
+    """
+    blocked = blocked or set()
+    if not layout.is_ancilla(start) or not layout.is_ancilla(goal):
+        return None
+    if start in blocked or goal in blocked:
+        return None
+    if start == goal:
+        return [start]
+    parents: Dict[Position, Position] = {start: start}
+    queue = deque([start])
+    while queue:
+        current = queue.popleft()
+        for neighbor in layout.neighbors(current):
+            if neighbor in parents or neighbor in blocked:
+                continue
+            if not layout.is_ancilla(neighbor):
+                continue
+            parents[neighbor] = current
+            if neighbor == goal:
+                path = [goal]
+                while path[-1] != start:
+                    path.append(parents[path[-1]])
+                path.reverse()
+                return path
+            queue.append(neighbor)
+    return None
+
+
+def _attachment_candidates(layout: GridLayout, orientation: OrientationTracker,
+                           qubit: int, pauli: str) -> List[Tuple[Position, bool]]:
+    """Ancilla neighbours that could attach to ``qubit``'s ``pauli`` edge.
+
+    Returns ``(ancilla_position, needs_rotation)`` pairs: a neighbour on a
+    boundary already exposing ``pauli`` needs no rotation; a neighbour on the
+    other boundary can still be used after one edge-rotation gate.
+    """
+    position = layout.data_position(qubit)
+    candidates: List[Tuple[Position, bool]] = []
+    for edge in Edge:
+        neighbor = edge.neighbor(position)
+        if not layout.is_ancilla(neighbor):
+            continue
+        needs_rotation = not orientation.exposes(qubit, edge, pauli)
+        candidates.append((neighbor, needs_rotation))
+    # Prefer rotation-free attachments.
+    candidates.sort(key=lambda item: item[1])
+    return candidates
+
+
+def enumerate_cnot_plans(layout: GridLayout, orientation: OrientationTracker,
+                         control: int, target: int,
+                         blocked: Optional[Set[Position]] = None,
+                         path_finder: Optional[Callable[[Position, Position],
+                                                        Optional[List[Position]]]] = None
+                         ) -> List[RoutePlan]:
+    """Enumerate candidate CNOT plans for every attachment pair.
+
+    This realises the "16 paths" of Algorithm 1: up to 4 ancilla neighbours of
+    the control times up to 4 of the target.  ``path_finder`` defaults to a
+    blocked-aware BFS; schedulers can substitute an MST path query.
+    """
+    blocked = blocked or set()
+    if path_finder is None:
+        def path_finder(a: Position, b: Position) -> Optional[List[Position]]:
+            return bfs_ancilla_path(layout, a, b, blocked)
+
+    plans: List[RoutePlan] = []
+    control_candidates = _attachment_candidates(layout, orientation, control, "Z")
+    target_candidates = _attachment_candidates(layout, orientation, target, "X")
+    for control_attach, control_rotation in control_candidates:
+        if control_attach in blocked:
+            continue
+        for target_attach, target_rotation in target_candidates:
+            if target_attach in blocked:
+                continue
+            path = path_finder(control_attach, target_attach)
+            if path is None:
+                continue
+            rotation_anc_c = control_attach if control_rotation else None
+            rotation_anc_t = target_attach if target_rotation else None
+            plans.append(RoutePlan(
+                control=control,
+                target=target,
+                path=tuple(path),
+                control_rotation=control_rotation,
+                target_rotation=target_rotation,
+                rotation_ancilla_control=rotation_anc_c,
+                rotation_ancilla_target=rotation_anc_t,
+            ))
+    return plans
+
+
+def find_shortest_cnot_plan(layout: GridLayout, orientation: OrientationTracker,
+                            control: int, target: int,
+                            blocked: Optional[Set[Position]] = None,
+                            costs: LatticeSurgeryCosts = DEFAULT_COSTS
+                            ) -> Optional[RoutePlan]:
+    """Greedy plan selection: fewest cycles, then shortest path (baseline [18])."""
+    plans = enumerate_cnot_plans(layout, orientation, control, target, blocked)
+    if not plans:
+        return None
+    return min(plans, key=lambda plan: (plan.duration(costs), len(plan.path)))

@@ -1,0 +1,21 @@
+"""Repeat-until-success continuous-angle resource-state models."""
+
+from .analysis import (
+    ComparisonResult,
+    RzCostModel,
+    TFactoryModel,
+    compare_rz_vs_t,
+)
+from .injection import InjectionModel, InjectionStrategy, expected_injections
+from .preparation import PreparationModel
+
+__all__ = [
+    "PreparationModel",
+    "InjectionModel",
+    "InjectionStrategy",
+    "expected_injections",
+    "RzCostModel",
+    "TFactoryModel",
+    "ComparisonResult",
+    "compare_rz_vs_t",
+]

@@ -1,0 +1,27 @@
+"""Schedulers (RESCQ and static baselines) plus their supporting structures."""
+
+from .activity import ActivityTracker
+from .base import Scheduler, gate_kind
+from .mst import AncillaMst, AsyncMstPipeline, IncrementalMst, build_activity_graph
+from .queues import AncillaQueue, AncillaRole, AncillaStatus, QueueEntry, QueueSet
+from .rescq import RescqScheduler
+from .static import AutoBraidScheduler, GreedyScheduler, StaticLayerScheduler
+
+__all__ = [
+    "Scheduler",
+    "gate_kind",
+    "RescqScheduler",
+    "GreedyScheduler",
+    "AutoBraidScheduler",
+    "StaticLayerScheduler",
+    "ActivityTracker",
+    "AncillaMst",
+    "AsyncMstPipeline",
+    "IncrementalMst",
+    "build_activity_graph",
+    "AncillaQueue",
+    "AncillaRole",
+    "AncillaStatus",
+    "QueueEntry",
+    "QueueSet",
+]

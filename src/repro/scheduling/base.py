@@ -1,0 +1,67 @@
+"""Scheduler interface and shared helpers."""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..circuits import Circuit, Gate, GateType, doublings_until_clifford
+from ..fabric import GridLayout, Position
+from ..lattice import OrientationTracker
+from ..rus import InjectionModel, InjectionStrategy, PreparationModel
+from ..sim.config import SimulationConfig
+from ..sim.results import GateTrace, SimulationResult
+
+__all__ = ["Scheduler", "gate_kind"]
+
+
+def gate_kind(gate: Gate) -> str:
+    """Trace label for a gate ('cnot', 'rz', 'h', ...)."""
+    if gate.gate_type is GateType.CNOT:
+        return "cnot"
+    if gate.gate_type is GateType.RZ:
+        return "rz"
+    if gate.gate_type is GateType.H:
+        return "h"
+    return gate.gate_type.value
+
+
+class Scheduler(abc.ABC):
+    """A scheduling policy that can execute a circuit on a layout.
+
+    Subclasses implement :meth:`run`; everything stochastic must flow through
+    the ``numpy`` generator seeded from the ``seed`` argument so that repeated
+    runs are reproducible (the paper's simulator is seeded the same way,
+    Section 5.1).
+    """
+
+    #: Short identifier used in result tables ("rescq", "greedy", "autobraid").
+    name: str = "scheduler"
+
+    @abc.abstractmethod
+    def run(self, circuit: Circuit, layout: GridLayout,
+            config: SimulationConfig, seed: int = 0) -> SimulationResult:
+        """Execute ``circuit`` on ``layout`` and return the timing result."""
+
+    # -- shared helpers ------------------------------------------------------------
+
+    @staticmethod
+    def make_rng(seed: int) -> np.random.Generator:
+        return np.random.default_rng(seed)
+
+    @staticmethod
+    def prepare_circuit(circuit: Circuit) -> Circuit:
+        """Strip zero-cost gates; the remaining gates are what gets scheduled."""
+        return circuit.without_free_gates()
+
+    @staticmethod
+    def injection_limit(gate: Gate, max_doublings: int = 64) -> int:
+        """Maximum length of the RUS correction chain for this rotation."""
+        if gate.angle is None:
+            return max_doublings
+        return max(1, doublings_until_clifford(gate.angle, max_doublings))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(name={self.name!r})"

@@ -1,0 +1,253 @@
+"""Activity-weighted minimum spanning tree maintenance (Sections 4.2, 5.4.1).
+
+RESCQ routes CNOTs along the minimax-activity path between the control and
+target attachment ancillas.  The classical controller:
+
+* builds an undirected graph over ancilla tiles whose edge weights are the
+  maximum activity of the two endpoints,
+* computes its minimum spanning tree — the MST contains, for every pair of
+  vertices, the path whose maximum edge weight is minimal (the minimax path),
+* starts a new computation every ``k`` cycles; each computation takes
+  ``tau_mst`` cycles, so the tree the scheduler queries is always somewhat
+  stale (Figure 8) but quantum execution never stalls.
+
+The module also provides the incremental-update structure analysed in
+Section 5.4.1 (O(1) insertions on grid cycles, O(max(rows, cols)) deletions)
+used by the classical-overhead benchmark.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+import networkx as nx
+
+from ..fabric import GridLayout, Position
+
+__all__ = ["build_activity_graph", "AncillaMst", "AsyncMstPipeline",
+           "IncrementalMst"]
+
+
+def build_activity_graph(layout: GridLayout,
+                         activity: Dict[Position, float]) -> nx.Graph:
+    """Weighted graph over ancilla tiles: w(u, v) = max(activity_u, activity_v)."""
+    graph = nx.Graph()
+    ancillas = layout.ancilla_positions()
+    graph.add_nodes_from(ancillas)
+    ancilla_set = set(ancillas)
+    for position in ancillas:
+        for neighbor in layout.neighbors(position):
+            if neighbor in ancilla_set and position < neighbor:
+                weight = max(activity.get(position, 0.0),
+                             activity.get(neighbor, 0.0))
+                graph.add_edge(position, neighbor, weight=weight)
+    return graph
+
+
+class AncillaMst:
+    """An immutable activity-weighted MST snapshot with path queries."""
+
+    def __init__(self, layout: GridLayout,
+                 activity: Dict[Position, float],
+                 snapshot_cycle: int = 0) -> None:
+        self.snapshot_cycle = snapshot_cycle
+        self.activity = dict(activity)
+        graph = build_activity_graph(layout, activity)
+        if graph.number_of_nodes() == 0:
+            self._tree = nx.Graph()
+        else:
+            self._tree = nx.minimum_spanning_tree(graph, weight="weight",
+                                                  algorithm="kruskal")
+        self._adjacency: Dict[Position, List[Position]] = {
+            node: sorted(self._tree.neighbors(node)) for node in self._tree.nodes}
+
+    @property
+    def tree(self) -> nx.Graph:
+        return self._tree
+
+    def contains(self, position: Position) -> bool:
+        return position in self._adjacency
+
+    def path(self, start: Position, goal: Position) -> Optional[List[Position]]:
+        """The unique tree path between two ancilla tiles (inclusive).
+
+        Returns ``None`` when either endpoint is not in the tree or the tree
+        is disconnected between them (possible only for degenerate layouts).
+        """
+        if start not in self._adjacency or goal not in self._adjacency:
+            return None
+        if start == goal:
+            return [start]
+        parents: Dict[Position, Position] = {start: start}
+        queue = deque([start])
+        while queue:
+            current = queue.popleft()
+            for neighbor in self._adjacency[current]:
+                if neighbor in parents:
+                    continue
+                parents[neighbor] = current
+                if neighbor == goal:
+                    path = [goal]
+                    while path[-1] != start:
+                        path.append(parents[path[-1]])
+                    path.reverse()
+                    return path
+                queue.append(neighbor)
+        return None
+
+    def bottleneck_activity(self, start: Position, goal: Position) -> float:
+        """Maximum edge weight along the tree path (the minimax objective)."""
+        path = self.path(start, goal)
+        if not path or len(path) == 1:
+            return 0.0
+        return max(self._tree.edges[u, v]["weight"]
+                   for u, v in zip(path, path[1:]))
+
+
+@dataclass
+class _PendingComputation:
+    started_cycle: int
+    available_cycle: int
+    activity_snapshot: Dict[Position, float]
+
+
+class AsyncMstPipeline:
+    """The asynchronous MST recomputation pipeline of Figure 8.
+
+    A new computation is *started* every ``period`` (= ``k``) cycles using the
+    activity observed at the start cycle; it becomes *available* ``latency``
+    (= ``tau_mst``) cycles later.  The scheduler always queries the most
+    recently *available* tree — never stalling the quantum machine, at the
+    cost of acting on information up to ``latency + period`` cycles old.
+    """
+
+    def __init__(self, layout: GridLayout, period: int, latency: int) -> None:
+        if period <= 0:
+            raise ValueError("period must be positive")
+        if latency < 0:
+            raise ValueError("latency must be non-negative")
+        self.layout = layout
+        self.period = period
+        self.latency = latency
+        self._pending: List[_PendingComputation] = []
+        self._current: Optional[AncillaMst] = None
+        self._last_started: Optional[int] = None
+        self.computations_started = 0
+        self.computations_completed = 0
+
+    @property
+    def current(self) -> Optional[AncillaMst]:
+        """The latest available MST (``None`` until the first one finishes)."""
+        return self._current
+
+    def tick(self, cycle: int, activity: Dict[Position, float]) -> None:
+        """Advance the pipeline to ``cycle``.
+
+        Starts a new computation if a period boundary has been crossed and
+        publishes any computation whose latency has elapsed.  ``activity`` is
+        the live activity snapshot used for a newly started computation.
+        """
+        # Publish finished computations (oldest first).
+        still_pending: List[_PendingComputation] = []
+        for pending in self._pending:
+            if pending.available_cycle <= cycle:
+                self._current = AncillaMst(self.layout, pending.activity_snapshot,
+                                           snapshot_cycle=pending.started_cycle)
+                self.computations_completed += 1
+            else:
+                still_pending.append(pending)
+        self._pending = still_pending
+
+        # Start a new computation at period boundaries.
+        if self._last_started is None or cycle - self._last_started >= self.period:
+            self._pending.append(_PendingComputation(
+                started_cycle=cycle,
+                available_cycle=cycle + self.latency,
+                activity_snapshot=dict(activity),
+            ))
+            self._last_started = cycle
+            self.computations_started += 1
+
+    def next_boundary(self, cycle: int) -> int:
+        """The next cycle at which the pipeline state can change."""
+        candidates = [pending.available_cycle for pending in self._pending]
+        if self._last_started is not None:
+            candidates.append(self._last_started + self.period)
+        else:
+            candidates.append(cycle)
+        future = [c for c in candidates if c > cycle]
+        return min(future) if future else cycle + self.period
+
+
+class IncrementalMst:
+    """Incrementally maintained MST used for the Section 5.4.1 overhead study.
+
+    Two update cases matter on a grid graph:
+
+    * an edge *not* on the MST whose weight decreased — insert it and evict the
+      heaviest edge of the (grid-bounded, O(1)-size) cycle it creates;
+    * an edge *on* the MST whose weight increased — remove it and reconnect the
+      two components with the lightest crossing edge (O(max(rows, cols)) work
+      in the paper's analysis; here a component-labelling pass).
+
+    The implementation favours clarity over raw speed; the benchmark compares
+    it against full recomputation to demonstrate the asymptotic win.
+    """
+
+    def __init__(self, layout: GridLayout,
+                 activity: Optional[Dict[Position, float]] = None) -> None:
+        self.layout = layout
+        self.graph = build_activity_graph(layout, activity or {})
+        self._tree = nx.minimum_spanning_tree(self.graph, weight="weight")
+
+    @property
+    def tree(self) -> nx.Graph:
+        return self._tree
+
+    def total_weight(self) -> float:
+        return sum(data["weight"] for _, _, data in self._tree.edges(data=True))
+
+    def update_edge(self, u: Position, v: Position, weight: float) -> None:
+        """Update the weight of edge ``(u, v)`` and repair the MST."""
+        if not self.graph.has_edge(u, v):
+            raise KeyError(f"({u}, {v}) is not an edge of the ancilla graph")
+        old_weight = self.graph.edges[u, v]["weight"]
+        self.graph.edges[u, v]["weight"] = weight
+        on_tree = self._tree.has_edge(u, v)
+
+        if on_tree:
+            self._tree.edges[u, v]["weight"] = weight
+            if weight > old_weight:
+                # Case 2: removal + cheapest reconnecting edge.
+                self._tree.remove_edge(u, v)
+                component_u = nx.node_connected_component(self._tree, u)
+                best = None
+                for a, b, data in self.graph.edges(data=True):
+                    crosses = (a in component_u) != (b in component_u)
+                    if crosses and (best is None or data["weight"] < best[2]):
+                        best = (a, b, data["weight"])
+                if best is None:  # pragma: no cover - disconnected ancilla graph
+                    self._tree.add_edge(u, v, weight=weight)
+                else:
+                    self._tree.add_edge(best[0], best[1], weight=best[2])
+        else:
+            if weight < old_weight:
+                # Case 1: insertion + evict the heaviest edge of the new cycle.
+                try:
+                    cycle_path = nx.shortest_path(self._tree, u, v)
+                except nx.NetworkXNoPath:  # pragma: no cover - degenerate
+                    self._tree.add_edge(u, v, weight=weight)
+                    return
+                heaviest = max(zip(cycle_path, cycle_path[1:]),
+                               key=lambda edge: self._tree.edges[edge]["weight"])
+                if self._tree.edges[heaviest]["weight"] > weight:
+                    self._tree.remove_edge(*heaviest)
+                    self._tree.add_edge(u, v, weight=weight)
+
+    def matches_full_recompute(self) -> bool:
+        """Sanity check: incremental tree weight equals a fresh Kruskal run."""
+        fresh = nx.minimum_spanning_tree(self.graph, weight="weight")
+        fresh_weight = sum(d["weight"] for _, _, d in fresh.edges(data=True))
+        return abs(self.total_weight() - fresh_weight) < 1e-9

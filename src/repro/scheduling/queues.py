@@ -1,0 +1,176 @@
+"""Per-ancilla queues and their entries (Section 4.1, Table 2).
+
+Every ancilla tile owns a queue of the gates it has been asked to help
+execute.  Each entry records the gate, an optional helper ancilla and — for
+the entry at the head of the queue — a status:
+
+=====  =============================================================
+``R``  ready to execute the next gate
+``E``  executing the gate at the head of the queue
+``P``  preparing the |m_theta> state for the Rz gate at the head
+``D``  done preparing, waiting to inject
+``F``  finished executing the gate at the head
+=====  =============================================================
+
+The queue provides the seniority ordering the paper relies on ("gates that
+have already been added to the queue must have been scheduled earlier and thus
+are executed before more recent gates") and the in-place angle update used for
+eager correction preparation.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from ..fabric import Position
+
+__all__ = ["AncillaStatus", "AncillaRole", "QueueEntry", "AncillaQueue",
+           "QueueSet"]
+
+
+class AncillaStatus(enum.Enum):
+    """Status of the head-of-queue entry (Table 2)."""
+
+    READY = "R"
+    EXECUTING = "E"
+    PREPARING = "P"
+    DONE_PREPARING = "D"
+    FINISHED = "F"
+
+
+class AncillaRole(enum.Enum):
+    """What the ancilla does for the gate it is enqueued for."""
+
+    PREPARE = "prepare"      # prepare an |m_theta> state for an Rz gate
+    ROUTE = "route"          # part of a CNOT / injection routing path
+    ROTATE = "rotate"        # helper for an edge-rotation gate
+    HELPER = "helper"        # generic helper (Hadamard, CNOT-injection partner)
+
+
+@dataclass
+class QueueEntry:
+    """One element of an ancilla queue (the variables of Table 2)."""
+
+    gate_index: int
+    gate_kind: str                      # "cnot", "rz", "h", "edge_rotation"
+    data_qubits: Tuple[int, ...]
+    role: AncillaRole
+    helper: Optional[Position] = None
+    #: Correction level for Rz gates: 0 = theta, 1 = 2*theta, ... (updated
+    #: in place for eager correction preparation, Section 4.1).
+    angle_level: int = 0
+    status: AncillaStatus = AncillaStatus.READY
+    #: Monotonic sequence number assigned at enqueue time (seniority order).
+    sequence: int = 0
+
+    def describe(self) -> str:
+        qubits = ",".join(str(q) for q in self.data_qubits)
+        return (f"{self.status.value}:{self.gate_kind}[{self.gate_index}]"
+                f"(q={qubits},lvl={self.angle_level},{self.role.value})")
+
+
+class AncillaQueue:
+    """FIFO queue of :class:`QueueEntry` for a single ancilla tile."""
+
+    def __init__(self, position: Position) -> None:
+        self.position = position
+        self._entries: List[QueueEntry] = []
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[QueueEntry]:
+        return iter(self._entries)
+
+    def __bool__(self) -> bool:
+        return bool(self._entries)
+
+    @property
+    def head(self) -> Optional[QueueEntry]:
+        return self._entries[0] if self._entries else None
+
+    def enqueue(self, entry: QueueEntry) -> None:
+        self._entries.append(entry)
+
+    def pop_head(self) -> QueueEntry:
+        if not self._entries:
+            raise IndexError("pop from empty ancilla queue")
+        return self._entries.pop(0)
+
+    def remove_gate(self, gate_index: int) -> int:
+        """Remove every entry for ``gate_index``; returns how many were removed."""
+        before = len(self._entries)
+        self._entries = [entry for entry in self._entries
+                         if entry.gate_index != gate_index]
+        return before - len(self._entries)
+
+    def contains_gate(self, gate_index: int) -> bool:
+        return any(entry.gate_index == gate_index for entry in self._entries)
+
+    def entry_for_gate(self, gate_index: int) -> Optional[QueueEntry]:
+        for entry in self._entries:
+            if entry.gate_index == gate_index:
+                return entry
+        return None
+
+    def position_of_gate(self, gate_index: int) -> Optional[int]:
+        for index, entry in enumerate(self._entries):
+            if entry.gate_index == gate_index:
+                return index
+        return None
+
+    def is_at_head(self, gate_index: int) -> bool:
+        head = self.head
+        return head is not None and head.gate_index == gate_index
+
+    def update_angle_level(self, gate_index: int, angle_level: int) -> int:
+        """In-place angle-level bump for eager correction prep (Section 4.1)."""
+        updated = 0
+        for entry in self._entries:
+            if entry.gate_index == gate_index and entry.angle_level < angle_level:
+                entry.angle_level = angle_level
+                updated += 1
+        return updated
+
+    def describe(self) -> str:  # pragma: no cover - debugging aid
+        return f"{self.position}: " + " | ".join(e.describe() for e in self._entries)
+
+
+class QueueSet:
+    """The collection of all ancilla queues plus the global sequence counter."""
+
+    def __init__(self, positions: Iterable[Position]) -> None:
+        self._queues: Dict[Position, AncillaQueue] = {
+            position: AncillaQueue(position) for position in positions}
+        self._sequence = 0
+
+    def __getitem__(self, position: Position) -> AncillaQueue:
+        return self._queues[position]
+
+    def __contains__(self, position: Position) -> bool:
+        return position in self._queues
+
+    def queues(self) -> Iterable[AncillaQueue]:
+        return self._queues.values()
+
+    def next_sequence(self) -> int:
+        self._sequence += 1
+        return self._sequence
+
+    def enqueue(self, position: Position, entry: QueueEntry) -> QueueEntry:
+        """Enqueue ``entry`` at ``position``, stamping its sequence number."""
+        if entry.sequence == 0:
+            entry.sequence = self.next_sequence()
+        self._queues[position].enqueue(entry)
+        return entry
+
+    def remove_gate_everywhere(self, gate_index: int) -> int:
+        return sum(queue.remove_gate(gate_index) for queue in self._queues.values())
+
+    def queue_length(self, position: Position) -> int:
+        return len(self._queues[position])
+
+    def total_enqueued(self) -> int:
+        return sum(len(queue) for queue in self._queues.values())

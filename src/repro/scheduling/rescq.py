@@ -1,0 +1,719 @@
+"""RESCQ: the realtime scheduler (Section 4).
+
+RESCQ drives an event-driven symbolic execution of the program.  Its defining
+mechanisms, all implemented here, are:
+
+* **per-qubit ASAP release** — a gate may start as soon as the previous gate
+  on each of its operand qubits completes; there is no layer barrier
+  (Section 3.1);
+* **per-ancilla queues** (Table 2) — every gate is enqueued on the ancillas
+  that could serve it; seniority in the queue arbitrates contention;
+* **parallel preparation** — an Rz gate's |m_theta> is attempted on several
+  neighbouring ancillas at once; the first success is used and the rest are
+  discarded or retargeted (Figure 1e);
+* **eager correction preparation** — as soon as one preparation succeeds (and
+  during the injection itself), the remaining candidate ancillas switch to
+  preparing the |m_{2 theta}> fixup in place (Section 4.1);
+* **lookahead preparation** — the Rz following the gate currently executing
+  on a qubit is enqueued preemptively so its state can be prepared while the
+  data qubit is still busy;
+* **activity-weighted MST routing** (Section 4.2) — CNOT paths are chosen on
+  the latest *available* minimum spanning tree of ancilla activity, which is
+  recomputed asynchronously every ``k`` cycles and becomes available
+  ``tau_mst`` cycles later (Figure 8).
+
+The ablation switches in :class:`~repro.sim.config.SimulationConfig`
+(``parallel_preparation``, ``eager_correction_prep``, ``use_mst_routing``)
+turn the corresponding mechanism off so its contribution can be measured.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from ..circuits import Circuit, Gate, GateDependencyGraph, GateType
+from ..fabric import Edge, GridLayout, Position
+from ..lattice import OrientationTracker, RoutePlan, enumerate_cnot_plans
+from ..rus import InjectionStrategy
+from ..sim.config import SimulationConfig
+from ..sim.results import GateTrace, SimulationResult
+from .activity import ActivityTracker
+from .base import Scheduler, gate_kind
+from .mst import AsyncMstPipeline
+from .queues import AncillaRole, AncillaStatus, QueueEntry, QueueSet
+
+__all__ = ["RescqScheduler"]
+
+
+# ---------------------------------------------------------------------------
+# Task state machines
+# ---------------------------------------------------------------------------
+
+@dataclass
+class _RzTask:
+    gate_index: int
+    qubit: int
+    theta: float
+    limit: int
+    candidates: List[Position]
+    #: 'Z' / 'X' for edge-adjacent candidates, or the routing ancilla position
+    #: for diagonal candidates.
+    attachment: Dict[Position, object]
+    released: bool
+    release_cycle: Optional[int] = None
+    level: int = 0
+    #: ancilla -> [finish_cycle, level] for in-flight preparations.
+    preparing: Dict[Position, List[int]] = field(default_factory=dict)
+    #: ancilla -> level of the |m_theta> state it is holding.
+    holding: Dict[Position, int] = field(default_factory=dict)
+    injecting: bool = False
+    first_start: Optional[int] = None
+    prep_attempts: int = 0
+    injections: int = 0
+    done: bool = False
+
+
+@dataclass
+class _CnotTask:
+    gate_index: int
+    control: int
+    target: int
+    plan: RoutePlan
+    release_cycle: int
+    started: bool = False
+    start_cycle: Optional[int] = None
+
+
+@dataclass
+class _HTask:
+    gate_index: int
+    qubit: int
+    ancilla: Position
+    release_cycle: int
+    started: bool = False
+    start_cycle: Optional[int] = None
+
+
+class _DeadlockError(RuntimeError):
+    pass
+
+
+# ---------------------------------------------------------------------------
+# The event-driven simulation
+# ---------------------------------------------------------------------------
+
+class _RescqSimulation:
+    """One seeded RESCQ execution of a circuit on a layout."""
+
+    def __init__(self, circuit: Circuit, layout: GridLayout,
+                 config: SimulationConfig, seed: int,
+                 scheduler_name: str = "rescq",
+                 lookahead_preparation: bool = True) -> None:
+        self.circuit = circuit
+        self.layout = layout
+        self.config = config
+        self.costs = config.costs
+        self.scheduler_name = scheduler_name
+        self.lookahead_preparation = lookahead_preparation
+        self.seed = seed
+        self.rng = np.random.default_rng(seed)
+        self.prep_model = config.preparation_model()
+
+        self.dag = GateDependencyGraph(circuit)
+        self.orientation = OrientationTracker(circuit.num_qubits)
+        ancillas = layout.ancilla_positions()
+        self.queues = QueueSet(ancillas)
+        self.activity = ActivityTracker(config.activity_window)
+        self.mst: Optional[AsyncMstPipeline] = None
+        if config.use_mst_routing:
+            self.mst = AsyncMstPipeline(layout, config.mst_period,
+                                        config.mst_latency)
+
+        self.clock = 0
+        self.anc_free: Dict[Position, int] = {pos: 0 for pos in ancillas}
+        self.anc_holding: Dict[Position, int] = {}
+        self.data_free: List[int] = [0] * circuit.num_qubits
+        self.data_busy: Dict[int, int] = {q: 0 for q in range(circuit.num_qubits)}
+
+        self.tasks: Dict[int, object] = {}
+        self.task_order: List[int] = []
+        self.release_cycle: Dict[int, int] = {}
+        self.traces: List[GateTrace] = []
+        self._events: List[Tuple[int, int, str, tuple]] = []
+        self._event_seq = 0
+
+        # next gate on each qubit after a given gate (for lookahead prep).
+        self._next_on_qubit: Dict[Tuple[int, int], int] = {}
+        last_seen: Dict[int, int] = {}
+        for index in self.dag.nodes:
+            for qubit in circuit[index].qubits:
+                if qubit in last_seen:
+                    self._next_on_qubit[(last_seen[qubit], qubit)] = index
+                last_seen[qubit] = index
+
+    # -- event plumbing ------------------------------------------------------------
+
+    def _push_event(self, cycle: int, tag: str, payload: tuple) -> None:
+        self._event_seq += 1
+        heapq.heappush(self._events, (cycle, self._event_seq, tag, payload))
+
+    def _next_event_cycle(self) -> Optional[int]:
+        return self._events[0][0] if self._events else None
+
+    # -- main loop -------------------------------------------------------------------
+
+    def run(self) -> SimulationResult:
+        for index in self.dag.ready:
+            self.release_cycle[index] = 0
+        self._tick_mst()
+        while not self.dag.all_completed:
+            self._schedule_work()
+            if self.dag.all_completed:
+                break
+            next_cycle = self._next_event_cycle()
+            if next_cycle is None:
+                raise _DeadlockError(
+                    f"scheduler deadlock at cycle {self.clock}: "
+                    f"{self.dag.num_pending} gates pending with no work in flight")
+            if next_cycle > self.config.max_cycles:
+                raise RuntimeError("simulation exceeded max_cycles")
+            self._advance_to(next_cycle)
+        return self._build_result()
+
+    def _advance_to(self, cycle: int) -> None:
+        self.clock = cycle
+        while self._events and self._events[0][0] <= cycle:
+            _cycle, _seq, tag, payload = heapq.heappop(self._events)
+            if tag == "prep":
+                self._on_prep_done(*payload)
+            elif tag == "inject":
+                self._on_injection_done(*payload)
+            elif tag == "cnot":
+                self._on_cnot_done(*payload)
+            elif tag == "h":
+                self._on_hadamard_done(*payload)
+        self._tick_mst()
+
+    def _tick_mst(self) -> None:
+        if self.mst is None:
+            return
+        snapshot = self.activity.snapshot(self.layout.ancilla_positions(),
+                                          self.clock)
+        self.mst.tick(self.clock, snapshot)
+
+    # -- task creation -----------------------------------------------------------------
+
+    def _create_tasks_for_ready_gates(self) -> None:
+        for index in self.dag.ready_by_priority():
+            task = self.tasks.get(index)
+            if task is None:
+                self._create_task(index, released=True)
+            elif isinstance(task, _RzTask) and not task.released:
+                task.released = True
+                task.release_cycle = self.release_cycle.get(index, self.clock)
+
+    def _create_task(self, index: int, released: bool) -> None:
+        gate = self.circuit[index]
+        kind = gate_kind(gate)
+        if kind == "rz":
+            task: object = self._create_rz_task(index, gate, released)
+        elif kind == "cnot":
+            task = self._create_cnot_task(index, gate)
+        elif kind == "h":
+            task = self._create_h_task(index, gate)
+        else:  # pragma: no cover - free gates are stripped before simulation
+            raise ValueError(f"unexpected gate kind {kind!r}")
+        self.tasks[index] = task
+        self.task_order.append(index)
+
+    def _rz_candidates(self, qubit: int) -> Tuple[List[Position], Dict[Position, object]]:
+        """Candidate preparation ancillas for an Rz on ``qubit``.
+
+        All edge-adjacent ancillas are candidates (they can inject directly);
+        diagonal ancillas that touch an adjacent ancilla are added up to the
+        ``max_parallel_preparations`` budget (they inject through that routing
+        ancilla) — the 1/2/3-plus-routing structure of Figure 7.
+        """
+        position = self.layout.data_position(qubit)
+        attachment: Dict[Position, object] = {}
+        adjacent: List[Position] = []
+        for edge in Edge:
+            neighbor = edge.neighbor(position)
+            if self.layout.is_ancilla(neighbor):
+                adjacent.append(neighbor)
+                attachment[neighbor] = self.orientation.edge_pauli(qubit, edge)
+        # Prefer Z-edge neighbours (cheapest, 1-cycle ZZ injection).
+        adjacent.sort(key=lambda pos: attachment[pos] != "Z")
+        if not self.config.parallel_preparation:
+            chosen = adjacent[:1]
+            return chosen, {pos: attachment[pos] for pos in chosen}
+
+        candidates = list(adjacent)
+        budget = max(0, self.config.max_parallel_preparations - len(candidates))
+        if budget:
+            row, col = position
+            diagonals = [(row - 1, col - 1), (row - 1, col + 1),
+                         (row + 1, col - 1), (row + 1, col + 1)]
+            for diag in diagonals:
+                if budget == 0:
+                    break
+                if not self.layout.is_ancilla(diag):
+                    continue
+                routers = [pos for pos in adjacent
+                           if abs(pos[0] - diag[0]) + abs(pos[1] - diag[1]) == 1]
+                if not routers:
+                    continue
+                candidates.append(diag)
+                attachment[diag] = routers[0]
+                budget -= 1
+        return candidates, attachment
+
+    def _create_rz_task(self, index: int, gate: Gate, released: bool) -> _RzTask:
+        qubit = gate.qubits[0]
+        candidates, attachment = self._rz_candidates(qubit)
+        if not candidates:
+            raise RuntimeError(f"data qubit {qubit} has no ancilla neighbour")
+        task = _RzTask(
+            gate_index=index,
+            qubit=qubit,
+            theta=gate.angle if gate.angle is not None else 0.0,
+            limit=self.injection_limit(gate),
+            candidates=candidates,
+            attachment=attachment,
+            released=released,
+            release_cycle=self.release_cycle.get(index) if released else None,
+        )
+        for position in candidates:
+            entry = QueueEntry(index, "rz", (qubit,), AncillaRole.PREPARE)
+            self.queues.enqueue(position, entry)
+        return task
+
+    @staticmethod
+    def injection_limit(gate: Gate, max_doublings: int = 64) -> int:
+        return Scheduler.injection_limit(gate, max_doublings)
+
+    def _expected_free_time(self, position: Position) -> float:
+        """Expected cycle at which ``position`` frees up (Section 4.2)."""
+        base = float(max(self.clock, self.anc_free[position]))
+        if position in self.anc_holding:
+            base += 1.0
+        pending = 0.0
+        for entry in self.queues[position]:
+            if entry.gate_kind == "rz":
+                pending += self.prep_model.expected_cycles() + 1.0
+            elif entry.gate_kind == "cnot":
+                pending += self.costs.cnot_cycles
+            else:
+                pending += self.costs.hadamard_cycles
+        return base + pending
+
+    def _choose_cnot_plan(self, control: int, target: int) -> RoutePlan:
+        path_finder = None
+        if self.mst is not None and self.mst.current is not None:
+            tree = self.mst.current
+
+            def path_finder(a: Position, b: Position):
+                return tree.path(a, b)
+
+        plans = enumerate_cnot_plans(self.layout, self.orientation, control,
+                                     target, path_finder=path_finder)
+        if not plans:
+            # Fall back to BFS (e.g. the MST snapshot predates a layout quirk).
+            plans = enumerate_cnot_plans(self.layout, self.orientation,
+                                         control, target)
+        if not plans:
+            raise RuntimeError(
+                f"no ancilla path between qubits {control} and {target}")
+
+        rotation_cost = self.costs.edge_rotation_cycles
+
+        def score(plan: RoutePlan) -> Tuple[float, int]:
+            expected = (rotation_cost * plan.num_rotations
+                        + self.costs.cnot_cycles
+                        + max(self._expected_free_time(pos)
+                              for pos in plan.path))
+            return (expected, len(plan.path))
+
+        return min(plans, key=score)
+
+    def _create_cnot_task(self, index: int, gate: Gate) -> _CnotTask:
+        plan = self._choose_cnot_plan(gate.control, gate.target)
+        for position in plan.ancillas_used:
+            role = AncillaRole.ROUTE
+            if position in (plan.rotation_ancilla_control,
+                            plan.rotation_ancilla_target):
+                role = AncillaRole.ROTATE
+            entry = QueueEntry(index, "cnot", gate.qubits, role)
+            self.queues.enqueue(position, entry)
+        return _CnotTask(index, gate.control, gate.target, plan,
+                         release_cycle=self.release_cycle.get(index, self.clock))
+
+    def _create_h_task(self, index: int, gate: Gate) -> _HTask:
+        qubit = gate.qubits[0]
+        neighbors = self.layout.ancilla_neighbors_of_qubit(qubit)
+        if not neighbors:
+            raise RuntimeError(f"data qubit {qubit} has no ancilla neighbour")
+        ancilla = min(neighbors, key=self._expected_free_time)
+        entry = QueueEntry(index, "h", (qubit,), AncillaRole.HELPER)
+        self.queues.enqueue(ancilla, entry)
+        return _HTask(index, qubit, ancilla,
+                      release_cycle=self.release_cycle.get(index, self.clock))
+
+    def _maybe_lookahead_prepare(self, index: int) -> None:
+        """Pre-enqueue the next Rz on each operand qubit of a starting gate."""
+        if not self.lookahead_preparation:
+            return
+        gate = self.circuit[index]
+        for qubit in gate.qubits:
+            nxt = self._next_on_qubit.get((index, qubit))
+            if nxt is None or nxt in self.tasks:
+                continue
+            nxt_gate = self.circuit[nxt]
+            if gate_kind(nxt_gate) != "rz":
+                continue
+            # Single-qubit Rz: its only predecessor is the gate now starting,
+            # so preparation (but not injection) may begin immediately.
+            self._create_task(nxt, released=False)
+
+    # -- the scheduling pass -------------------------------------------------------------
+
+    def _schedule_work(self) -> None:
+        # A pass can complete gates synchronously (Clifford-truncated
+        # corrections) which releases successors; keep passing until the
+        # frontier is stable so same-cycle progress is never missed.
+        while True:
+            completed_before = len(self.traces)
+            self._create_tasks_for_ready_gates()
+            # Iterate in task-creation (seniority) order so that queue-head
+            # checks and resource grabs respect the order that enqueued them.
+            for index in list(self.task_order):
+                task = self.tasks.get(index)
+                if task is None:
+                    continue
+                if isinstance(task, _RzTask):
+                    if not task.done:
+                        self._advance_rz(task)
+                elif isinstance(task, _CnotTask):
+                    if not task.started:
+                        self._try_start_cnot(task)
+                elif isinstance(task, _HTask):
+                    if not task.started:
+                        self._try_start_hadamard(task)
+            if len(self.traces) == completed_before:
+                break
+
+    def _ancilla_available(self, position: Position, gate_index: int) -> bool:
+        return (self.anc_free[position] <= self.clock
+                and self.anc_holding.get(position) in (None, gate_index)
+                and self.queues[position].is_at_head(gate_index))
+
+    # -- Rz state machine ----------------------------------------------------------------
+
+    def _prep_level(self, task: _RzTask) -> int:
+        """Which correction level candidates should be preparing right now."""
+        level = task.level
+        if self.config.eager_correction_prep:
+            has_current = any(lvl == task.level for lvl in task.holding.values())
+            if task.injecting or has_current:
+                level = task.level + 1
+        return level
+
+    def _advance_rz(self, task: _RzTask) -> None:
+        if task.level >= task.limit:
+            # The outstanding correction is a Clifford rotation: free.
+            self._complete_rz(task)
+            return
+        self._start_rz_preparations(task)
+        self._maybe_start_injection(task)
+
+    def _start_rz_preparations(self, task: _RzTask) -> None:
+        level = self._prep_level(task)
+        if level >= task.limit:
+            return
+        for position in task.candidates:
+            if position in task.preparing:
+                continue
+            held = task.holding.get(position)
+            if held is not None and held >= task.level:
+                continue
+            if not self._ancilla_available(position, task.gate_index):
+                continue
+            duration = self.prep_model.sample_cycles(self.rng)
+            finish = self.clock + duration
+            task.preparing[position] = [finish, level]
+            task.prep_attempts += 1
+            if task.first_start is None:
+                task.first_start = self.clock
+            self.anc_free[position] = finish
+            self.activity.record_busy(position, self.clock, finish)
+            self.queues[position].update_angle_level(task.gate_index, level)
+            head = self.queues[position].head
+            if head is not None and head.gate_index == task.gate_index:
+                head.status = AncillaStatus.PREPARING
+            self._push_event(finish, "prep", (task.gate_index, position, finish))
+
+    def _injection_resources(self, task: _RzTask, position: Position
+                             ) -> Optional[Tuple[List[Position], int]]:
+        """Resources and duration to inject from ``position`` into the data qubit."""
+        attachment = task.attachment[position]
+        if attachment == "Z":
+            return [position], self.costs.zz_injection_cycles
+        if attachment == "X":
+            return [position], self.costs.cnot_injection_cycles
+        router: Position = attachment  # diagonal candidate: route through this tile
+        holder = self.anc_holding.get(router)
+        if (self.anc_free[router] <= self.clock
+                and holder in (None, task.gate_index)):
+            # The router may be holding one of *our own* eagerly prepared
+            # correction states; sacrificing it to unblock the injection is
+            # always worth it (extra successes "can be discarded if
+            # necessary", Section 3.2).
+            if holder == task.gate_index:
+                task.holding.pop(router, None)
+                self.anc_holding.pop(router, None)
+            return [position, router], self.costs.cnot_injection_cycles
+        return None
+
+    def _maybe_start_injection(self, task: _RzTask) -> None:
+        if task.injecting or not task.released:
+            return
+        if self.data_free[task.qubit] > self.clock:
+            return
+        ready = [pos for pos, lvl in task.holding.items() if lvl == task.level]
+        if not ready:
+            return
+        # Prefer the cheapest attachment (Z edge, then X edge, then diagonal).
+        def rank(pos: Position) -> int:
+            attachment = task.attachment[pos]
+            if attachment == "Z":
+                return 0
+            if attachment == "X":
+                return 1
+            return 2
+
+        for position in sorted(ready, key=rank):
+            resources = self._injection_resources(task, position)
+            if resources is None:
+                continue
+            tiles, duration = resources
+            finish = self.clock + duration
+            for tile in tiles:
+                self.anc_free[tile] = finish
+                self.activity.record_busy(tile, self.clock, finish)
+            self.data_free[task.qubit] = finish
+            self.data_busy[task.qubit] += duration
+            task.injecting = True
+            task.injections += 1
+            if task.first_start is None:
+                task.first_start = self.clock
+            # The consumed state (and any surplus same-level states) are gone;
+            # surplus holders immediately become eager-correction preparers.
+            task.holding.pop(position, None)
+            self.anc_holding.pop(position, None)
+            for other, level in list(task.holding.items()):
+                if level == task.level:
+                    task.holding.pop(other)
+                    self.anc_holding.pop(other, None)
+            self._push_event(finish, "inject", (task.gate_index, position, finish))
+            self._maybe_lookahead_prepare(task.gate_index)
+            return
+
+    def _on_prep_done(self, gate_index: int, position: Position, finish: int) -> None:
+        task = self.tasks.get(gate_index)
+        if not isinstance(task, _RzTask) or task.done:
+            return
+        info = task.preparing.get(position)
+        if info is None or info[0] != finish:
+            return  # stale event (preparation was cancelled)
+        task.preparing.pop(position)
+        level = info[1]
+        if level < task.level:
+            return  # the chain moved past this level; discard the state
+        is_first_at_level = not any(lvl == level for lvl in task.holding.values())
+        task.holding[position] = level
+        self.anc_holding[position] = gate_index
+        head = self.queues[position].head
+        if head is not None and head.gate_index == gate_index:
+            head.status = AncillaStatus.DONE_PREPARING
+        if (is_first_at_level and level == task.level
+                and self.config.eager_correction_prep):
+            # In-place retarget of the other in-flight preparations to the
+            # correction angle (Section 4.1).
+            next_level = min(task.level + 1, task.limit)
+            for other, other_info in task.preparing.items():
+                if other_info[1] == task.level:
+                    other_info[1] = next_level
+                    self.queues[other].update_angle_level(gate_index, next_level)
+
+    def _on_injection_done(self, gate_index: int, position: Position,
+                           finish: int) -> None:
+        task = self.tasks.get(gate_index)
+        if not isinstance(task, _RzTask) or task.done:
+            return
+        task.injecting = False
+        success = bool(self.rng.random() < 0.5)
+        if success:
+            self._complete_rz(task)
+            return
+        task.level += 1
+        if task.level >= task.limit:
+            # The remaining correction is Clifford: applied in the frame, free.
+            self._complete_rz(task)
+
+    def _complete_rz(self, task: _RzTask) -> None:
+        task.done = True
+        for position, info in task.preparing.items():
+            # Terminate in-flight preparations immediately (Figure 7, t=5).
+            self.anc_free[position] = min(self.anc_free[position], self.clock)
+        task.preparing.clear()
+        for position in list(task.holding):
+            self.anc_holding.pop(position, None)
+        task.holding.clear()
+        self.queues.remove_gate_everywhere(task.gate_index)
+        scheduled = task.release_cycle if task.release_cycle is not None else self.clock
+        start = task.first_start if task.first_start is not None else scheduled
+        self.traces.append(GateTrace(
+            task.gate_index, "rz", (task.qubit,),
+            scheduled_cycle=scheduled, start_cycle=start, end_cycle=self.clock,
+            injections=task.injections,
+            preparation_attempts=task.prep_attempts))
+        self._finish_gate(task.gate_index)
+
+    # -- CNOT and Hadamard ------------------------------------------------------------------
+
+    def _try_start_cnot(self, task: _CnotTask) -> None:
+        if (self.data_free[task.control] > self.clock
+                or self.data_free[task.target] > self.clock):
+            return
+        resources = task.plan.ancillas_used
+        for position in resources:
+            if not self._ancilla_available(position, task.gate_index):
+                return
+        duration = task.plan.duration(self.costs)
+        finish = self.clock + duration
+        for position in resources:
+            self.anc_free[position] = finish
+            self.activity.record_busy(position, self.clock, finish)
+            head = self.queues[position].head
+            if head is not None and head.gate_index == task.gate_index:
+                head.status = AncillaStatus.EXECUTING
+        self.data_free[task.control] = finish
+        self.data_free[task.target] = finish
+        self.data_busy[task.control] += duration
+        self.data_busy[task.target] += duration
+        task.started = True
+        task.start_cycle = self.clock
+        self._push_event(finish, "cnot", (task.gate_index, finish))
+        self._maybe_lookahead_prepare(task.gate_index)
+
+    def _on_cnot_done(self, gate_index: int, finish: int) -> None:
+        task = self.tasks.get(gate_index)
+        if not isinstance(task, _CnotTask):
+            return
+        if task.plan.control_rotation:
+            self.orientation.rotate(task.control)
+        if task.plan.target_rotation:
+            self.orientation.rotate(task.target)
+        self.queues.remove_gate_everywhere(gate_index)
+        self.traces.append(GateTrace(
+            gate_index, "cnot", (task.control, task.target),
+            scheduled_cycle=task.release_cycle,
+            start_cycle=task.start_cycle if task.start_cycle is not None
+            else task.release_cycle,
+            end_cycle=finish,
+            edge_rotations=task.plan.num_rotations))
+        self._finish_gate(gate_index)
+
+    def _try_start_hadamard(self, task: _HTask) -> None:
+        if self.data_free[task.qubit] > self.clock:
+            return
+        if not self._ancilla_available(task.ancilla, task.gate_index):
+            return
+        duration = self.costs.hadamard_cycles
+        finish = self.clock + duration
+        self.anc_free[task.ancilla] = finish
+        self.activity.record_busy(task.ancilla, self.clock, finish)
+        self.data_free[task.qubit] = finish
+        self.data_busy[task.qubit] += duration
+        task.started = True
+        task.start_cycle = self.clock
+        self._push_event(finish, "h", (task.gate_index, finish))
+        self._maybe_lookahead_prepare(task.gate_index)
+
+    def _on_hadamard_done(self, gate_index: int, finish: int) -> None:
+        task = self.tasks.get(gate_index)
+        if not isinstance(task, _HTask):
+            return
+        # A logical Hadamard exchanges the patch's X and Z boundaries.
+        self.orientation.rotate(task.qubit)
+        self.queues.remove_gate_everywhere(gate_index)
+        self.traces.append(GateTrace(
+            gate_index, "h", (task.qubit,),
+            scheduled_cycle=task.release_cycle,
+            start_cycle=task.start_cycle if task.start_cycle is not None
+            else task.release_cycle,
+            end_cycle=finish))
+        self._finish_gate(gate_index)
+
+    # -- completion plumbing ----------------------------------------------------------------
+
+    def _finish_gate(self, gate_index: int) -> None:
+        newly_released = self.dag.complete(gate_index)
+        for index in newly_released:
+            self.release_cycle[index] = self.clock
+        self.tasks.pop(gate_index, None)
+
+    def _build_result(self) -> SimulationResult:
+        total = self.clock
+        metadata = {
+            "mst_computations": float(self.mst.computations_completed
+                                      if self.mst else 0),
+        }
+        return SimulationResult(
+            benchmark=self.circuit.name,
+            scheduler=self.scheduler_name,
+            seed=self.seed,
+            total_cycles=total,
+            num_qubits=self.circuit.num_qubits,
+            traces=self.traces,
+            data_busy_cycles=self.data_busy,
+            config_summary=self.config.describe(),
+            metadata=metadata,
+        )
+
+
+class RescqScheduler(Scheduler):
+    """The realtime scheduler proposed by the paper.
+
+    Parameters
+    ----------
+    lookahead_preparation:
+        Enable preemptive enqueueing of the next Rz gate on a qubit while the
+        previous gate is still executing (on by default; exposed for
+        ablations).
+    name:
+        Override the scheduler name recorded in results (used when running
+        ablated variants side by side).
+    """
+
+    name = "rescq"
+
+    def __init__(self, lookahead_preparation: bool = True,
+                 name: Optional[str] = None) -> None:
+        self.lookahead_preparation = lookahead_preparation
+        if name is not None:
+            self.name = name
+
+    def run(self, circuit: Circuit, layout: GridLayout,
+            config: SimulationConfig, seed: int = 0) -> SimulationResult:
+        prepared = self.prepare_circuit(circuit)
+        prepared.name = circuit.name
+        simulation = _RescqSimulation(
+            prepared, layout, config, seed,
+            scheduler_name=self.name,
+            lookahead_preparation=self.lookahead_preparation)
+        return simulation.run()

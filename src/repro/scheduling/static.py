@@ -1,0 +1,294 @@
+"""Static layer-synchronous baseline schedulers (Section 5.1).
+
+The paper compares RESCQ against two statically scheduled baselines:
+
+* **greedy** shortest-path selection [Javadi-Abhari et al., MICRO'17]; and
+* **AutoBraid** [Hua et al., MICRO'21], which additionally tries to pick
+  edge-disjoint paths for the CNOTs of a layer.
+
+Both are augmented with the naive Rz protocol of the STAR proposal: exactly
+one dedicated ancilla per data qubit prepares |m_theta>, preparation starts
+only when the gate's layer is reached, and there is no eager preparation of
+the correction state.  Crucially, both are *layer-synchronous*: the next layer
+starts only after every gate of the current layer has finished, which is where
+most of their cycle count goes once non-deterministic Rz gates are present
+(Section 3.1).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from ..circuits import Circuit, Gate, GateType
+from ..fabric import Edge, GridLayout, Position
+from ..lattice import OrientationTracker, RoutePlan, enumerate_cnot_plans
+from ..rus import InjectionStrategy
+from ..sim.config import SimulationConfig
+from ..sim.results import GateTrace, SimulationResult
+from .base import Scheduler, gate_kind
+
+__all__ = ["StaticLayerScheduler", "GreedyScheduler", "AutoBraidScheduler"]
+
+
+class StaticLayerScheduler(Scheduler):
+    """Common machinery of the layer-synchronous baselines.
+
+    Subclasses customise only :meth:`_choose_plan`, the CNOT path-selection
+    policy applied within a layer.
+    """
+
+    name = "static"
+
+    # -- CNOT path selection (policy hook) -----------------------------------------
+
+    def _choose_plan(self, plans: List[RoutePlan],
+                     claimed: Dict[Position, int],
+                     config: SimulationConfig) -> RoutePlan:
+        raise NotImplementedError
+
+    # -- main entry point -------------------------------------------------------------
+
+    def run(self, circuit: Circuit, layout: GridLayout,
+            config: SimulationConfig, seed: int = 0) -> SimulationResult:
+        rng = self.make_rng(seed)
+        scheduled = self.prepare_circuit(circuit)
+        prep_model = config.preparation_model()
+        orientation = OrientationTracker(scheduled.num_qubits)
+        costs = config.costs
+
+        ancilla_free: Dict[Position, int] = {
+            pos: 0 for pos in layout.ancilla_positions()}
+        data_free: List[int] = [0] * scheduled.num_qubits
+        data_busy: Dict[int, int] = {q: 0 for q in range(scheduled.num_qubits)}
+        traces: List[GateTrace] = []
+
+        clock = 0
+        for layer in scheduled.layers():
+            layer_start = clock
+            layer_end = layer_start
+            #: How many times each ancilla has been claimed within this layer
+            #: (AutoBraid uses this to spread paths out).
+            claimed: Dict[Position, int] = {}
+            for gate_index in layer:
+                gate = scheduled[gate_index]
+                kind = gate_kind(gate)
+                if kind == "cnot":
+                    end = self._execute_cnot(
+                        gate_index, gate, layout, orientation, config,
+                        layer_start, ancilla_free, data_free, data_busy,
+                        claimed, traces)
+                elif kind == "rz":
+                    end = self._execute_rz(
+                        gate_index, gate, layout, orientation, config,
+                        prep_model, rng, layer_start, ancilla_free, data_free,
+                        data_busy, traces)
+                elif kind == "h":
+                    end = self._execute_hadamard(
+                        gate_index, gate, layout, orientation, config,
+                        layer_start, ancilla_free, data_free, data_busy, traces)
+                else:  # pragma: no cover - free gates are stripped beforehand
+                    end = layer_start
+                layer_end = max(layer_end, end)
+                if layer_end - layer_start > config.max_cycles:
+                    raise RuntimeError("layer exceeded max_cycles; "
+                                       "likely an unroutable CNOT")
+            # Layer barrier: everything waits for the slowest gate.
+            clock = layer_end
+            for position in ancilla_free:
+                ancilla_free[position] = max(ancilla_free[position], clock)
+            for qubit in range(scheduled.num_qubits):
+                data_free[qubit] = max(data_free[qubit], clock)
+
+        result = SimulationResult(
+            benchmark=circuit.name,
+            scheduler=self.name,
+            seed=seed,
+            total_cycles=clock,
+            num_qubits=scheduled.num_qubits,
+            traces=traces,
+            data_busy_cycles=data_busy,
+            config_summary=config.describe(),
+        )
+        return result
+
+    # -- gate executors --------------------------------------------------------------
+
+    def _execute_cnot(self, gate_index: int, gate: Gate, layout: GridLayout,
+                      orientation: OrientationTracker, config: SimulationConfig,
+                      layer_start: int, ancilla_free: Dict[Position, int],
+                      data_free: List[int], data_busy: Dict[int, int],
+                      claimed: Dict[Position, int],
+                      traces: List[GateTrace]) -> int:
+        control, target = gate.control, gate.target
+        plans = enumerate_cnot_plans(layout, orientation, control, target)
+        if not plans:
+            raise RuntimeError(
+                f"no ancilla path between qubits {control} and {target}; "
+                "the layout's ancilla fabric is disconnected")
+        plan = self._choose_plan(plans, claimed, config)
+        duration = plan.duration(config.costs)
+        resources = plan.ancillas_used
+        start = max(layer_start, data_free[control], data_free[target],
+                    *(ancilla_free[pos] for pos in resources))
+        end = start + duration
+        for position in resources:
+            ancilla_free[position] = end
+            claimed[position] = claimed.get(position, 0) + 1
+        data_free[control] = end
+        data_free[target] = end
+        data_busy[control] += end - start
+        data_busy[target] += end - start
+        if plan.control_rotation:
+            orientation.rotate(control)
+        if plan.target_rotation:
+            orientation.rotate(target)
+        traces.append(GateTrace(gate_index, "cnot", gate.qubits,
+                                scheduled_cycle=layer_start,
+                                start_cycle=start, end_cycle=end,
+                                edge_rotations=plan.num_rotations))
+        return end
+
+    def _dedicated_prep_ancilla(self, layout: GridLayout,
+                                qubit: int) -> Position:
+        """The single ancilla the STAR baseline uses for this qubit's |m_theta>.
+
+        Figure 1d always prepares in one fixed ancilla of the atomic block;
+        we use the first available block ancilla (east, then south, then
+        south-east), falling back to any ancilla neighbour after compression.
+        """
+        row, col = layout.data_position(qubit)
+        for candidate in ((row, col + 1), (row + 1, col), (row + 1, col + 1)):
+            if layout.is_ancilla(candidate):
+                return candidate
+        neighbors = layout.ancilla_neighbors_of_qubit(qubit)
+        if not neighbors:
+            raise RuntimeError(f"data qubit {qubit} has no ancilla neighbour")
+        return neighbors[0]
+
+    def _execute_rz(self, gate_index: int, gate: Gate, layout: GridLayout,
+                    orientation: OrientationTracker, config: SimulationConfig,
+                    prep_model, rng: np.random.Generator, layer_start: int,
+                    ancilla_free: Dict[Position, int], data_free: List[int],
+                    data_busy: Dict[int, int],
+                    traces: List[GateTrace]) -> int:
+        qubit = gate.qubits[0]
+        prep_ancilla = self._dedicated_prep_ancilla(layout, qubit)
+        strategy = config.baseline_injection_strategy
+        injection_cycles = config.costs.injection_cycles(strategy.value)
+
+        # A CNOT-style injection needs a second ancilla (Table 1); use another
+        # free neighbour when one exists, otherwise fall back to the 1-ancilla
+        # ZZ strategy (compressed blocks may simply not have a second tile).
+        helper: Optional[Position] = None
+        if strategy is InjectionStrategy.CNOT:
+            for candidate in layout.ancilla_neighbors_of_qubit(qubit):
+                if candidate != prep_ancilla:
+                    helper = candidate
+                    break
+            if helper is None:
+                for candidate in layout.ancilla_neighbors(prep_ancilla):
+                    if candidate != prep_ancilla:
+                        helper = candidate
+                        break
+            if helper is None:
+                injection_cycles = config.costs.zz_injection_cycles
+
+        limit = self.injection_limit(gate)
+        clock = max(layer_start, data_free[qubit])
+        prep_attempts = 0
+        injections = 0
+        busy_added = 0
+        first_start: Optional[int] = None
+        for _attempt in range(limit):
+            # Preparation on the dedicated ancilla, no early start (baseline).
+            prep_start = max(clock, ancilla_free[prep_ancilla])
+            prep_duration = prep_model.sample_cycles(rng)
+            prep_attempts += 1
+            prep_end = prep_start + prep_duration
+            ancilla_free[prep_ancilla] = prep_end
+            if first_start is None:
+                first_start = prep_start
+
+            # Injection occupies the data qubit, the prep ancilla and the helper.
+            injection_start = max(prep_end, data_free[qubit])
+            if helper is not None:
+                injection_start = max(injection_start, ancilla_free[helper])
+            injection_end = injection_start + injection_cycles
+            ancilla_free[prep_ancilla] = injection_end
+            if helper is not None:
+                ancilla_free[helper] = injection_end
+            data_free[qubit] = injection_end
+            busy_added += injection_end - injection_start
+            injections += 1
+            clock = injection_end
+            if rng.random() < 0.5:
+                break
+            # Failure: the correction R(2^k theta) restarts the whole protocol.
+        data_busy[qubit] += busy_added
+        traces.append(GateTrace(gate_index, "rz", gate.qubits,
+                                scheduled_cycle=layer_start,
+                                start_cycle=first_start if first_start is not None
+                                else layer_start,
+                                end_cycle=clock,
+                                injections=injections,
+                                preparation_attempts=prep_attempts))
+        return clock
+
+    def _execute_hadamard(self, gate_index: int, gate: Gate, layout: GridLayout,
+                          orientation: OrientationTracker,
+                          config: SimulationConfig, layer_start: int,
+                          ancilla_free: Dict[Position, int],
+                          data_free: List[int], data_busy: Dict[int, int],
+                          traces: List[GateTrace]) -> int:
+        qubit = gate.qubits[0]
+        neighbors = layout.ancilla_neighbors_of_qubit(qubit)
+        if not neighbors:
+            raise RuntimeError(f"data qubit {qubit} has no ancilla neighbour")
+        helper = min(neighbors, key=lambda pos: ancilla_free[pos])
+        start = max(layer_start, data_free[qubit], ancilla_free[helper])
+        end = start + config.costs.hadamard_cycles
+        ancilla_free[helper] = end
+        data_free[qubit] = end
+        data_busy[qubit] += end - start
+        # A logical Hadamard exchanges the X and Z boundaries of the patch.
+        orientation.rotate(qubit)
+        traces.append(GateTrace(gate_index, "h", gate.qubits,
+                                scheduled_cycle=layer_start,
+                                start_cycle=start, end_cycle=end))
+        return end
+
+
+class GreedyScheduler(StaticLayerScheduler):
+    """Greedy shortest-path baseline [Javadi-Abhari et al. 2017]."""
+
+    name = "greedy"
+
+    def _choose_plan(self, plans: List[RoutePlan],
+                     claimed: Dict[Position, int],
+                     config: SimulationConfig) -> RoutePlan:
+        return min(plans, key=lambda plan: (plan.duration(config.costs),
+                                            len(plan.path)))
+
+
+class AutoBraidScheduler(StaticLayerScheduler):
+    """AutoBraid-style baseline [Hua et al. 2021].
+
+    AutoBraid routes the CNOTs of a layer over edge-disjoint paths where
+    possible.  Within our layer-analytic model this is expressed as a path
+    choice that minimises overlap with ancillas already claimed by earlier
+    CNOTs of the same layer before considering duration and length.
+    """
+
+    name = "autobraid"
+
+    def _choose_plan(self, plans: List[RoutePlan],
+                     claimed: Dict[Position, int],
+                     config: SimulationConfig) -> RoutePlan:
+        def overlap(plan: RoutePlan) -> int:
+            return sum(claimed.get(pos, 0) for pos in plan.ancillas_used)
+
+        return min(plans, key=lambda plan: (overlap(plan),
+                                            plan.duration(config.costs),
+                                            len(plan.path)))

@@ -1,0 +1,24 @@
+"""Cycle-level symbolic execution: configuration, results, and runners."""
+
+from .config import SimulationConfig
+from .results import GateTrace, SimulationResult, aggregate_results, geometric_mean
+from .runner import (
+    ComparisonRow,
+    compare_schedulers,
+    default_layout,
+    run_comparison,
+    run_schedule,
+)
+
+__all__ = [
+    "SimulationConfig",
+    "GateTrace",
+    "SimulationResult",
+    "aggregate_results",
+    "geometric_mean",
+    "ComparisonRow",
+    "compare_schedulers",
+    "run_comparison",
+    "run_schedule",
+    "default_layout",
+]

@@ -1,0 +1,108 @@
+"""High-level simulation entry points used by examples, benchmarks and the CLI."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Union
+
+from ..circuits import Circuit
+from ..fabric import GridLayout, StarVariant, compress_layout, star_layout
+from .config import SimulationConfig
+from .results import SimulationResult, aggregate_results, geometric_mean
+
+__all__ = ["default_layout", "run_schedule", "run_comparison",
+           "ComparisonRow", "compare_schedulers"]
+
+
+def default_layout(circuit: Circuit, compression: float = 0.0,
+                   seed: int = 0) -> GridLayout:
+    """The STAR grid the paper evaluates on, optionally compressed.
+
+    One 2x2 STAR block per program qubit (Figure 1c); ``compression`` in
+    ``[0, 1]`` applies the Section 5.3 co-design sweep.
+    """
+    layout = star_layout(circuit.num_qubits, StarVariant.STAR)
+    if compression > 0.0:
+        layout, _report = compress_layout(layout, compression, seed=seed)
+    return layout
+
+
+def run_schedule(scheduler, circuit: Circuit,
+                 config: Optional[SimulationConfig] = None,
+                 layout: Optional[GridLayout] = None,
+                 seeds: Union[int, Sequence[int]] = 1,
+                 compression: float = 0.0) -> List[SimulationResult]:
+    """Run ``scheduler`` on ``circuit`` for one or more seeds.
+
+    Parameters
+    ----------
+    scheduler:
+        Any :class:`~repro.scheduling.base.Scheduler` instance.
+    config:
+        Defaults to the paper's headline configuration (d=7, p=1e-4, k=25).
+    layout:
+        Defaults to the STAR grid for the circuit (optionally compressed).
+    seeds:
+        Either the number of seeded repetitions (seeds 0..n-1) or an explicit
+        sequence of seeds.
+    """
+    config = config or SimulationConfig()
+    layout = layout or default_layout(circuit, compression=compression)
+    if isinstance(seeds, int):
+        seed_list: Sequence[int] = range(seeds)
+    else:
+        seed_list = seeds
+    return [scheduler.run(circuit, layout, config, seed=seed)
+            for seed in seed_list]
+
+
+@dataclass
+class ComparisonRow:
+    """Aggregate of one (benchmark, scheduler) cell of Figure 10."""
+
+    benchmark: str
+    scheduler: str
+    mean_cycles: float
+    min_cycles: float
+    max_cycles: float
+    mean_idle_fraction: float
+    runs: int
+    results: List[SimulationResult] = field(default_factory=list, repr=False)
+
+    def normalised_to(self, reference: "ComparisonRow") -> float:
+        """Execution time normalised to a reference scheduler (Figure 10's y-axis)."""
+        if reference.mean_cycles == 0:
+            return 0.0
+        return self.mean_cycles / reference.mean_cycles
+
+
+def compare_schedulers(schedulers, circuit: Circuit,
+                       config: Optional[SimulationConfig] = None,
+                       layout: Optional[GridLayout] = None,
+                       seeds: Union[int, Sequence[int]] = 3,
+                       compression: float = 0.0) -> Dict[str, ComparisonRow]:
+    """Run several schedulers on the same circuit/layout/seeds and aggregate."""
+    config = config or SimulationConfig()
+    layout = layout or default_layout(circuit, compression=compression)
+    rows: Dict[str, ComparisonRow] = {}
+    for scheduler in schedulers:
+        results = run_schedule(scheduler, circuit, config=config,
+                               layout=layout, seeds=seeds)
+        aggregate = aggregate_results(results)
+        idle = (sum(result.idle_fraction() for result in results)
+                / len(results)) if results else 0.0
+        rows[scheduler.name] = ComparisonRow(
+            benchmark=circuit.name,
+            scheduler=scheduler.name,
+            mean_cycles=aggregate["mean"],
+            min_cycles=aggregate["min"],
+            max_cycles=aggregate["max"],
+            mean_idle_fraction=idle,
+            runs=int(aggregate["runs"]),
+            results=results,
+        )
+    return rows
+
+
+# Backwards-compatible alias used in a few examples/benchmarks.
+run_comparison = compare_schedulers

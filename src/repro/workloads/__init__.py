@@ -1,0 +1,46 @@
+"""Workload generators reproducing the Table 3 benchmark families."""
+
+from .chemistry import gcm_circuit, pauli_string_exponential, vqe_circuit
+from .dnn import dnn_circuit
+from .ising import ising_circuit
+from .multiplier import multiplier_circuit, multiplier_width_for_qubits
+from .qft import qft_circuit
+from .qugan import qugan_circuit
+from .registry import (
+    TABLE3,
+    BenchmarkSpec,
+    benchmark_names,
+    get_benchmark,
+    representative_benchmarks,
+    table3_rows,
+)
+from .supermarq import (
+    hamiltonian_simulation_circuit,
+    qaoa_fermionic_swap_circuit,
+    qaoa_vanilla_circuit,
+    random_regular_edges,
+)
+from .wstate import wstate_circuit
+
+__all__ = [
+    "BenchmarkSpec",
+    "TABLE3",
+    "benchmark_names",
+    "get_benchmark",
+    "representative_benchmarks",
+    "table3_rows",
+    "ising_circuit",
+    "qft_circuit",
+    "multiplier_circuit",
+    "multiplier_width_for_qubits",
+    "qugan_circuit",
+    "gcm_circuit",
+    "vqe_circuit",
+    "pauli_string_exponential",
+    "dnn_circuit",
+    "wstate_circuit",
+    "hamiltonian_simulation_circuit",
+    "qaoa_vanilla_circuit",
+    "qaoa_fermionic_swap_circuit",
+    "random_regular_edges",
+]

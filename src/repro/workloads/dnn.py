@@ -1,0 +1,53 @@
+"""Quantum neural-network circuits (the ``dnn`` suite).
+
+``dnn_n16`` from QASMBench is a layered quantum deep-neural-network ansatz.
+It is the most rotation-dominated benchmark in the paper: roughly six Rz per
+CNOT (Table 3: 2432 Rz vs 384 CNOT), which stresses |m_theta> preparation
+throughput far more than routing.
+"""
+
+from __future__ import annotations
+
+from ..circuits import Circuit, Gate, GateType, transpile_to_clifford_rz
+
+__all__ = ["dnn_circuit"]
+
+
+def _neuron_layer(circuit: Circuit, num_qubits: int, seed: float) -> None:
+    """One "neuron" layer: two Euler triples per qubit around sparse CNOTs."""
+    for qubit in range(num_qubits):
+        circuit.append(Gate(GateType.RZ, (qubit,), angle=seed + 0.023 * qubit))
+        circuit.append(Gate(GateType.RY, (qubit,), angle=seed / 2 + 0.017 * qubit))
+        circuit.append(Gate(GateType.RZ, (qubit,), angle=seed / 3 + 0.013 * qubit))
+    for left in range(0, num_qubits - 1, 2):
+        circuit.append(Gate(GateType.CNOT, (left, left + 1)))
+    for qubit in range(num_qubits):
+        circuit.append(Gate(GateType.RZ, (qubit,), angle=seed + 0.031 * qubit))
+        circuit.append(Gate(GateType.RY, (qubit,), angle=seed / 4 + 0.019 * qubit))
+        circuit.append(Gate(GateType.RZ, (qubit,), angle=seed / 5 + 0.011 * qubit))
+    for left in range(1, num_qubits - 1, 2):
+        circuit.append(Gate(GateType.CNOT, (left, left + 1)))
+
+
+def dnn_circuit(num_qubits: int = 16, layers: int = 8,
+                transpile: bool = True) -> Circuit:
+    """Build a QNN/dnn-style circuit on ``num_qubits`` qubits.
+
+    Parameters
+    ----------
+    num_qubits:
+        Width of the network.
+    layers:
+        Number of neuron layers; the default of 8 reproduces the ~6:1 Rz to
+        CNOT ratio of ``dnn_n16``.
+    transpile:
+        When ``True`` return the circuit lowered to the Clifford+Rz basis.
+    """
+    if num_qubits < 2:
+        raise ValueError("dnn needs at least 2 qubits")
+    circuit = Circuit(num_qubits, name=f"dnn_n{num_qubits}")
+    for layer in range(layers):
+        _neuron_layer(circuit, num_qubits, seed=0.41 + 0.06 * layer)
+    if transpile:
+        return transpile_to_clifford_rz(circuit)
+    return circuit

@@ -1,0 +1,93 @@
+"""Reversible array multiplier circuits (the ``multiplier`` suite).
+
+QASMBench's ``multiplier_n45`` / ``multiplier_n75`` are ripple-carry array
+multipliers built almost entirely from Toffoli and CNOT gates.  After lowering
+Toffolis into the Clifford+Rz basis the circuits contain thousands of Rz and
+CNOT gates with a ratio very close to 1 (Table 3: 2237/2286 and 6384/6510) —
+a dense, deep workload dominated by two-qubit routing.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..circuits import Circuit, Gate, GateType, transpile_to_clifford_rz
+
+__all__ = ["multiplier_circuit", "multiplier_width_for_qubits"]
+
+
+def multiplier_width_for_qubits(num_qubits: int) -> int:
+    """Largest operand bit-width whose multiplier fits in ``num_qubits`` qubits.
+
+    The layout uses ``n`` qubits per operand, ``2n`` for the product register
+    and ``1`` carry ancilla, i.e. ``4n + 1`` total (matching the QASMBench
+    n45 = 4*11+1 and n75 ~ 4*18+3 layouts to within a couple of idle qubits).
+    """
+    width = (num_qubits - 1) // 4
+    if width < 1:
+        raise ValueError("need at least 5 qubits for a 1-bit multiplier")
+    return width
+
+
+def _majority(circuit: Circuit, a: int, b: int, c: int) -> None:
+    circuit.append(Gate(GateType.CNOT, (c, b)))
+    circuit.append(Gate(GateType.CNOT, (c, a)))
+    circuit.append(Gate(GateType.CCX, (a, b, c)))
+
+
+def _unmajority(circuit: Circuit, a: int, b: int, c: int) -> None:
+    circuit.append(Gate(GateType.CCX, (a, b, c)))
+    circuit.append(Gate(GateType.CNOT, (c, a)))
+    circuit.append(Gate(GateType.CNOT, (a, b)))
+
+
+def _controlled_adder(circuit: Circuit, control: int, addend: Tuple[int, ...],
+                      accumulator: Tuple[int, ...], carry: int) -> None:
+    """Add ``addend`` into ``accumulator`` controlled on ``control``.
+
+    Implemented as a Cuccaro ripple-carry adder where each addend bit is first
+    copied into a temporary role under the control (CCX), mirroring the
+    shift-and-add structure of the QASMBench multiplier.
+    """
+    width = len(addend)
+    # Controlled copy of the addend into play.
+    for bit in range(width):
+        circuit.append(Gate(GateType.CCX, (control, addend[bit],
+                                           accumulator[bit])))
+    # Ripple the carries with majority/unmajority chains.
+    chain = [carry] + list(accumulator[:width])
+    for bit in range(width - 1):
+        _majority(circuit, chain[bit], addend[bit], chain[bit + 1])
+    for bit in range(width - 2, -1, -1):
+        _unmajority(circuit, chain[bit], addend[bit], chain[bit + 1])
+
+
+def multiplier_circuit(num_qubits: int, transpile: bool = True) -> Circuit:
+    """Build a shift-and-add reversible multiplier using ``num_qubits`` qubits.
+
+    Registers: multiplicand ``a`` (width ``n``), multiplier ``b`` (width ``n``),
+    product ``p`` (width ``2n``), one carry ancilla.  For every bit of ``b`` a
+    controlled adder adds ``a`` (shifted) into the product register.
+    """
+    width = multiplier_width_for_qubits(num_qubits)
+    a = tuple(range(0, width))
+    b = tuple(range(width, 2 * width))
+    product = tuple(range(2 * width, 4 * width))
+    carry = 4 * width
+    circuit = Circuit(num_qubits, name=f"multiplier_n{num_qubits}")
+
+    # Load non-trivial operand values so the adders are structurally complete.
+    for qubit in a[::2]:
+        circuit.append(Gate(GateType.X, (qubit,)))
+    for qubit in b[1::2]:
+        circuit.append(Gate(GateType.X, (qubit,)))
+
+    for shift, control in enumerate(b):
+        window = product[shift:shift + width]
+        if len(window) < width:
+            window = product[-width:]
+        _controlled_adder(circuit, control, a, tuple(window), carry)
+
+    if transpile:
+        return transpile_to_clifford_rz(circuit)
+    return circuit

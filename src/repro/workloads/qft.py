@@ -1,0 +1,66 @@
+"""Quantum Fourier Transform circuits (the ``qft`` suite).
+
+QFT circuits are the canonical *sequential* stress case: long chains of
+controlled-phase rotations create deep dependency chains with an Rz:CNOT ratio
+close to 1 after decomposition, matching the ``qft_n*`` rows of Table 3.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from ..circuits import Circuit, Gate, GateType, transpile_to_clifford_rz
+
+__all__ = ["qft_circuit", "controlled_phase"]
+
+
+def controlled_phase(circuit: Circuit, control: int, target: int,
+                     theta: float) -> None:
+    """Append a controlled-phase CP(theta) using the 2-CNOT decomposition.
+
+    ``CP(theta) = Rz(theta/2) x Rz(theta/2) . CX . Rz(-theta/2) . CX`` up to
+    global phase; all three rotations share the same non-Clifford angle class.
+    """
+    circuit.append(Gate(GateType.RZ, (control,), angle=theta / 2))
+    circuit.append(Gate(GateType.RZ, (target,), angle=theta / 2))
+    circuit.append(Gate(GateType.CNOT, (control, target)))
+    circuit.append(Gate(GateType.RZ, (target,), angle=-theta / 2))
+    circuit.append(Gate(GateType.CNOT, (control, target)))
+
+
+def qft_circuit(num_qubits: int, approximation_degree: int = 0,
+                include_swaps: bool = False,
+                transpile: bool = True) -> Circuit:
+    """Build an (approximate) QFT on ``num_qubits`` qubits.
+
+    Parameters
+    ----------
+    num_qubits:
+        Register size.
+    approximation_degree:
+        Number of the smallest-angle controlled rotations to drop per qubit
+        (the standard approximate-QFT truncation).  ``0`` is the exact QFT.
+        The published QASMBench circuits use a mild truncation, which is why
+        their CNOT counts are slightly below ``n*(n-1)``.
+    include_swaps:
+        Whether to append the final qubit-reversal SWAP network.
+    transpile:
+        When ``True`` return the circuit lowered to the Clifford+Rz basis.
+    """
+    if num_qubits < 1:
+        raise ValueError("qft needs at least one qubit")
+    circuit = Circuit(num_qubits, name=f"qft_n{num_qubits}")
+    for qubit in range(num_qubits):
+        circuit.append(Gate(GateType.H, (qubit,)))
+        for offset, control in enumerate(range(qubit + 1, num_qubits), start=2):
+            if approximation_degree and offset > num_qubits - approximation_degree:
+                continue
+            controlled_phase(circuit, control, qubit, math.pi / (2 ** (offset - 1)))
+    if include_swaps:
+        for low in range(num_qubits // 2):
+            high = num_qubits - 1 - low
+            circuit.append(Gate(GateType.SWAP, (low, high)))
+    if transpile:
+        return transpile_to_clifford_rz(circuit)
+    return circuit

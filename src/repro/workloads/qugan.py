@@ -1,0 +1,70 @@
+"""Quantum GAN ansatz circuits (the ``qugan`` suite).
+
+The QASMBench ``qugan_n*`` benchmarks are hardware-efficient variational
+ansätze used as the generator/discriminator pair of a quantum GAN: layers of
+single-qubit ``Ry``/``Rz`` rotations interleaved with linear-entangling CNOT
+ladders, plus a SWAP-test style comparison between the two halves.  The
+resulting Rz:CNOT ratio is roughly 1.4 (Table 3).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..circuits import Circuit, Gate, GateType, transpile_to_clifford_rz
+
+__all__ = ["qugan_circuit"]
+
+
+def _rotation_layer(circuit: Circuit, qubits, seed_angle: float) -> None:
+    for offset, qubit in enumerate(qubits):
+        circuit.append(Gate(GateType.RY, (qubit,),
+                            angle=seed_angle + 0.07 * offset))
+
+
+def _entangling_ladder(circuit: Circuit, qubits) -> None:
+    ordered = list(qubits)
+    for left, right in zip(ordered, ordered[1:]):
+        circuit.append(Gate(GateType.CNOT, (left, right)))
+
+
+def qugan_circuit(num_qubits: int, layers: int = 2,
+                  transpile: bool = True) -> Circuit:
+    """Build a quantum-GAN style ansatz on ``num_qubits`` qubits.
+
+    The register is split into a generator half, a discriminator half and one
+    comparison ancilla; each half runs ``layers`` alternating rotation and
+    entangling layers, then a chain of controlled comparisons entangles the
+    halves through the ancilla.
+    """
+    if num_qubits < 5:
+        raise ValueError("qugan needs at least 5 qubits")
+    circuit = Circuit(num_qubits, name=f"qugan_n{num_qubits}")
+    ancilla = num_qubits - 1
+    half = (num_qubits - 1) // 2
+    generator = list(range(0, half))
+    discriminator = list(range(half, 2 * half))
+
+    for layer in range(layers):
+        seed = 0.31 + 0.11 * layer
+        _rotation_layer(circuit, generator, seed)
+        _entangling_ladder(circuit, generator)
+        _rotation_layer(circuit, discriminator, seed + 0.05)
+        _entangling_ladder(circuit, discriminator)
+        # Rz "phase learning" layer on both halves.
+        for offset, qubit in enumerate(generator + discriminator):
+            circuit.append(Gate(GateType.RZ, (qubit,),
+                                angle=0.13 + 0.03 * offset + 0.09 * layer))
+
+    # SWAP-test style comparison through the ancilla.
+    circuit.append(Gate(GateType.H, (ancilla,)))
+    for g_qubit, d_qubit in zip(generator, discriminator):
+        circuit.append(Gate(GateType.CNOT, (ancilla, g_qubit)))
+        circuit.append(Gate(GateType.CNOT, (ancilla, d_qubit)))
+        circuit.append(Gate(GateType.RY, (g_qubit,), angle=0.21))
+        circuit.append(Gate(GateType.RY, (d_qubit,), angle=0.21))
+    circuit.append(Gate(GateType.H, (ancilla,)))
+
+    if transpile:
+        return transpile_to_clifford_rz(circuit)
+    return circuit

@@ -1,0 +1,125 @@
+"""SupermarQ-style benchmarks: Hamiltonian simulation and QAOA variants.
+
+These reproduce the structure of the SupermarQ suite rows in Table 3:
+
+* ``HamiltonianSimulation`` — one Trotter step of a TFIM chain, ~2 Rz and
+  ~2 CNOT per qubit, wide and shallow;
+* ``QAOAVanilla`` — QAOA on a random 3-regular graph with direct Rzz terms;
+* ``QAOAFermionicSwap`` — the fermionic-swap-network QAOA variant, which
+  trades locality for ~50% more CNOTs per Rz than vanilla QAOA.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..circuits import Circuit, Gate, GateType, transpile_to_clifford_rz
+
+__all__ = [
+    "hamiltonian_simulation_circuit",
+    "qaoa_vanilla_circuit",
+    "qaoa_fermionic_swap_circuit",
+    "random_regular_edges",
+]
+
+
+def hamiltonian_simulation_circuit(num_qubits: int, steps: int = 1,
+                                   transpile: bool = True) -> Circuit:
+    """SupermarQ Hamiltonian-simulation benchmark (TFIM, one Trotter step)."""
+    if num_qubits < 2:
+        raise ValueError("hamiltonian simulation needs at least 2 qubits")
+    circuit = Circuit(num_qubits, name=f"HamiltonianSimulation_n{num_qubits}")
+    for step in range(steps):
+        for qubit in range(num_qubits):
+            circuit.append(Gate(GateType.RX, (qubit,),
+                                angle=0.5 + 0.01 * step))
+        for left in range(num_qubits - 1):
+            circuit.append(Gate(GateType.RZZ, (left, left + 1),
+                                angle=0.3 + 0.01 * step))
+    if transpile:
+        return transpile_to_clifford_rz(circuit)
+    return circuit
+
+
+def random_regular_edges(num_qubits: int, degree: int = 3,
+                         seed: int = 7) -> List[Tuple[int, int]]:
+    """Deterministic pseudo-random ``degree``-regular-ish edge list.
+
+    A simple circulant construction: connect each vertex to its +1, +2, ...
+    +ceil(degree/2) neighbours modulo ``num_qubits`` and drop edges until the
+    average degree matches.  Deterministic so benchmark circuits are stable
+    across runs without needing an RNG dependency here.
+    """
+    rng = np.random.default_rng(seed)
+    offsets = list(range(1, degree // 2 + 2))
+    edges = set()
+    for offset in offsets:
+        for vertex in range(num_qubits):
+            edge = tuple(sorted((vertex, (vertex + offset) % num_qubits)))
+            if edge[0] != edge[1]:
+                edges.add(edge)
+    target_count = (num_qubits * degree) // 2
+    edge_list = sorted(edges)
+    while len(edge_list) > target_count:
+        drop = int(rng.integers(0, len(edge_list)))
+        edge_list.pop(drop)
+    return edge_list
+
+
+def qaoa_vanilla_circuit(num_qubits: int, rounds: int = 2,
+                         degree: int = 3, seed: int = 7,
+                         transpile: bool = True) -> Circuit:
+    """SupermarQ vanilla-QAOA benchmark on a pseudo-random regular graph."""
+    if num_qubits < 3:
+        raise ValueError("qaoa needs at least 3 qubits")
+    circuit = Circuit(num_qubits, name=f"QAOAVanilla_n{num_qubits}")
+    edges = random_regular_edges(num_qubits, degree=degree, seed=seed)
+    for qubit in range(num_qubits):
+        circuit.append(Gate(GateType.H, (qubit,)))
+    for qaoa_round in range(rounds):
+        gamma = 0.4 + 0.1 * qaoa_round
+        beta = 0.7 - 0.1 * qaoa_round
+        for left, right in edges:
+            circuit.append(Gate(GateType.RZZ, (left, right), angle=2 * gamma))
+        for qubit in range(num_qubits):
+            circuit.append(Gate(GateType.RX, (qubit,), angle=2 * beta))
+    if transpile:
+        return transpile_to_clifford_rz(circuit)
+    return circuit
+
+
+def qaoa_fermionic_swap_circuit(num_qubits: int, rounds: int = 2,
+                                transpile: bool = True) -> Circuit:
+    """SupermarQ fermionic-swap-network QAOA benchmark.
+
+    The swap network sweeps ``num_qubits`` layers of neighbouring
+    Rzz-plus-SWAP blocks per round so that every pair interacts using only
+    nearest-neighbour gates; this inflates the CNOT count relative to vanilla
+    QAOA (Table 3: 315 vs 210 CNOTs at 15 qubits) while keeping the same
+    number of Rz rotations.
+    """
+    if num_qubits < 3:
+        raise ValueError("qaoa needs at least 3 qubits")
+    circuit = Circuit(num_qubits, name=f"QAOAFermionicSwap_n{num_qubits}")
+    for qubit in range(num_qubits):
+        circuit.append(Gate(GateType.H, (qubit,)))
+    for qaoa_round in range(rounds):
+        gamma = 0.4 + 0.1 * qaoa_round
+        beta = 0.7 - 0.1 * qaoa_round
+        for sweep in range(num_qubits):
+            start = sweep % 2
+            for left in range(start, num_qubits - 1, 2):
+                # Fused Rzz + fermionic swap block: swap costs 3 CNOTs but one
+                # CNOT cancels against the Rzz ladder, so emit Rzz + 2 CNOTs.
+                circuit.append(Gate(GateType.RZZ, (left, left + 1),
+                                    angle=2 * gamma / num_qubits))
+                circuit.append(Gate(GateType.CNOT, (left, left + 1)))
+                circuit.append(Gate(GateType.CNOT, (left + 1, left)))
+        for qubit in range(num_qubits):
+            circuit.append(Gate(GateType.RX, (qubit,), angle=2 * beta))
+    if transpile:
+        return transpile_to_clifford_rz(circuit)
+    return circuit

@@ -1,0 +1,45 @@
+"""W-state preparation circuits (the ``wstate`` suite).
+
+``wstate_n27`` prepares the n-qubit W state with a chain of controlled
+rotations followed by a CNOT cascade.  The circuit is almost completely
+*sequential* ("wstate and qft circuits are largely sequential", Section 5.1)
+with a 3:1 Rz to CNOT ratio.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..circuits import Circuit, Gate, GateType, transpile_to_clifford_rz
+
+__all__ = ["wstate_circuit"]
+
+
+def _controlled_ry(circuit: Circuit, control: int, target: int,
+                   theta: float) -> None:
+    """Controlled-Ry via the standard two-CNOT decomposition."""
+    circuit.append(Gate(GateType.RY, (target,), angle=theta / 2))
+    circuit.append(Gate(GateType.CNOT, (control, target)))
+    circuit.append(Gate(GateType.RY, (target,), angle=-theta / 2))
+    circuit.append(Gate(GateType.CNOT, (control, target)))
+
+
+def wstate_circuit(num_qubits: int, transpile: bool = True) -> Circuit:
+    """Build the W-state preparation circuit on ``num_qubits`` qubits.
+
+    The construction rotates amplitude down the chain: qubit 0 starts in |1>,
+    each subsequent qubit receives a controlled-Ry with angle
+    ``2*acos(sqrt(1/k))`` followed by a CNOT back to the previous qubit.
+    """
+    if num_qubits < 2:
+        raise ValueError("wstate needs at least 2 qubits")
+    circuit = Circuit(num_qubits, name=f"wstate_n{num_qubits}")
+    circuit.append(Gate(GateType.X, (0,)))
+    for qubit in range(1, num_qubits):
+        remaining = num_qubits - qubit
+        theta = 2 * math.acos(math.sqrt(remaining / (remaining + 1.0)))
+        _controlled_ry(circuit, qubit - 1, qubit, theta)
+        circuit.append(Gate(GateType.CNOT, (qubit, qubit - 1)))
+    if transpile:
+        return transpile_to_clifford_rz(circuit)
+    return circuit

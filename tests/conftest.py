@@ -1,0 +1,55 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro import SimulationConfig, default_layout
+from repro.circuits import Circuit
+from repro.fabric import StarVariant, star_layout
+from repro.scheduling import AutoBraidScheduler, GreedyScheduler, RescqScheduler
+from repro.workloads import dnn_circuit, qft_circuit
+
+
+@pytest.fixture
+def small_circuit() -> Circuit:
+    """A tiny 3-qubit Clifford+Rz circuit with all gate kinds."""
+    circuit = Circuit(3, name="small")
+    circuit.h(0)
+    circuit.rz(0, 0.3)
+    circuit.cnot(0, 1)
+    circuit.rz(1, 0.7)
+    circuit.cnot(1, 2)
+    circuit.h(2)
+    circuit.rz(2, 1.1)
+    return circuit
+
+
+@pytest.fixture
+def qft6() -> Circuit:
+    return qft_circuit(6)
+
+
+@pytest.fixture
+def dnn6() -> Circuit:
+    return dnn_circuit(6, layers=2)
+
+
+@pytest.fixture
+def fast_config() -> SimulationConfig:
+    """A configuration with a short MST latency to exercise the pipeline quickly."""
+    return SimulationConfig(distance=7, physical_error_rate=1e-4,
+                            mst_period=10, mst_latency=20)
+
+
+@pytest.fixture
+def star9():
+    """A 9-data-qubit uncompressed STAR layout (6x6 tiles)."""
+    return star_layout(9, StarVariant.STAR)
+
+
+@pytest.fixture
+def all_schedulers():
+    return [GreedyScheduler(), AutoBraidScheduler(), RescqScheduler()]

@@ -1,0 +1,51 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "qft_n18"])
+        assert args.benchmark == "qft_n18"
+        assert args.distance == 7
+        assert args.seeds == 3
+
+    def test_sweep_kinds(self):
+        args = build_parser().parse_args(["sweep", "mst-period", "qft_n18"])
+        assert args.kind == "mst-period"
+
+
+class TestCommands:
+    def test_list_prints_table3(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "qft_n160" in out
+        assert "paper_rz" in out
+
+    def test_prep_prints_figure16_table(self, capsys):
+        assert main(["prep", "--distances", "5,7", "--error-rates", "1e-3"]) == 0
+        out = capsys.readouterr().out
+        assert "expected_attempts" in out
+        assert out.count("\n") >= 4
+
+    def test_run_small_benchmark(self, capsys):
+        code = main(["run", "VQE_n13", "--schedulers", "autobraid,rescq",
+                     "--seeds", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "rescq" in out and "autobraid" in out
+        assert "mean_cycles" in out
+
+    def test_run_rejects_unknown_scheduler(self):
+        with pytest.raises(SystemExit):
+            main(["run", "VQE_n13", "--schedulers", "magic"])
+
+    def test_run_rejects_unknown_benchmark(self):
+        with pytest.raises(KeyError):
+            main(["run", "not_a_benchmark"])

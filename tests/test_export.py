@@ -1,0 +1,66 @@
+"""Tests for JSON/CSV result export (the artifact's log-file equivalent)."""
+
+import json
+
+import pytest
+
+from repro import SimulationConfig, default_layout
+from repro.analysis.export import (
+    result_from_dict,
+    result_to_dict,
+    results_from_json,
+    results_to_json,
+    traces_to_csv,
+)
+from repro.scheduling import RescqScheduler
+from repro.workloads import vqe_circuit
+
+
+@pytest.fixture(scope="module")
+def sample_result():
+    circuit = vqe_circuit(6)
+    config = SimulationConfig(mst_period=10, mst_latency=10)
+    return RescqScheduler().run(circuit, default_layout(circuit), config, seed=4)
+
+
+class TestJsonRoundTrip:
+    def test_dict_round_trip_preserves_everything(self, sample_result):
+        restored = result_from_dict(result_to_dict(sample_result))
+        assert restored.benchmark == sample_result.benchmark
+        assert restored.total_cycles == sample_result.total_cycles
+        assert restored.num_qubits == sample_result.num_qubits
+        assert len(restored.traces) == len(sample_result.traces)
+        assert restored.traces[0] == sample_result.traces[0]
+        assert restored.data_busy_cycles == sample_result.data_busy_cycles
+
+    def test_json_round_trip(self, sample_result):
+        text = results_to_json([sample_result, sample_result])
+        parsed = results_from_json(text)
+        assert len(parsed) == 2
+        assert parsed[0].total_cycles == sample_result.total_cycles
+
+    def test_json_is_valid_and_compact_option(self, sample_result):
+        text = results_to_json([sample_result], indent=None)
+        assert json.loads(text)
+
+    def test_derived_metrics_survive_round_trip(self, sample_result):
+        restored = result_from_dict(result_to_dict(sample_result))
+        assert restored.idle_fraction() == pytest.approx(
+            sample_result.idle_fraction())
+        assert restored.latency_histogram("rz") == sample_result.latency_histogram("rz")
+
+    def test_results_from_json_rejects_non_list(self):
+        with pytest.raises(ValueError):
+            results_from_json('{"not": "a list"}')
+
+
+class TestCsv:
+    def test_csv_has_one_row_per_gate(self, sample_result):
+        text = traces_to_csv(sample_result)
+        lines = [line for line in text.splitlines() if line]
+        assert len(lines) == len(sample_result.traces) + 1
+
+    def test_csv_header_columns(self, sample_result):
+        header = traces_to_csv(sample_result).splitlines()[0].split(",")
+        assert "latency_after_schedule" in header
+        assert "injections" in header

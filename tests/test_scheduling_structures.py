@@ -1,0 +1,206 @@
+"""Tests for activity tracking, ancilla queues and MST maintenance."""
+
+import networkx as nx
+import pytest
+
+from repro.fabric import StarVariant, star_layout
+from repro.scheduling import (
+    ActivityTracker,
+    AncillaMst,
+    AncillaRole,
+    AsyncMstPipeline,
+    IncrementalMst,
+    QueueEntry,
+    QueueSet,
+    build_activity_graph,
+)
+
+
+class TestActivityTracker:
+    def test_activity_zero_before_any_work(self):
+        tracker = ActivityTracker(window=100)
+        assert tracker.activity((0, 0), now=50) == 0.0
+
+    def test_activity_ratio(self):
+        tracker = ActivityTracker(window=100)
+        tracker.record_busy((0, 0), 0, 30)
+        assert tracker.activity((0, 0), now=100) == pytest.approx(0.3)
+
+    def test_old_intervals_fall_out_of_window(self):
+        tracker = ActivityTracker(window=10)
+        tracker.record_busy((0, 0), 0, 5)
+        assert tracker.activity((0, 0), now=100) == 0.0
+
+    def test_partial_overlap_with_window(self):
+        tracker = ActivityTracker(window=10)
+        tracker.record_busy((0, 0), 0, 15)
+        # window is [10, 20): 5 busy cycles
+        assert tracker.activity((0, 0), now=20) == pytest.approx(0.5)
+
+    def test_activity_clamped_to_one(self):
+        tracker = ActivityTracker(window=10)
+        tracker.record_busy((0, 0), 0, 10)
+        tracker.record_busy((0, 0), 0, 10)
+        assert tracker.activity((0, 0), now=10) == 1.0
+
+    def test_early_window_uses_elapsed_time(self):
+        tracker = ActivityTracker(window=100)
+        tracker.record_busy((0, 0), 0, 5)
+        assert tracker.activity((0, 0), now=10) == pytest.approx(0.5)
+
+    def test_empty_interval_ignored(self):
+        tracker = ActivityTracker(window=10)
+        tracker.record_busy((0, 0), 5, 5)
+        assert tracker.activity((0, 0), now=10) == 0.0
+
+    def test_snapshot(self):
+        tracker = ActivityTracker(window=10)
+        tracker.record_busy((0, 0), 0, 10)
+        snap = tracker.snapshot([(0, 0), (0, 1)], now=10)
+        assert snap[(0, 0)] == 1.0 and snap[(0, 1)] == 0.0
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(ValueError):
+            ActivityTracker(window=0)
+
+
+class TestQueues:
+    def test_enqueue_and_head(self):
+        queues = QueueSet([(0, 0), (0, 1)])
+        entry = queues.enqueue((0, 0), QueueEntry(5, "rz", (1,), AncillaRole.PREPARE))
+        assert queues[(0, 0)].head is entry
+        assert queues[(0, 0)].is_at_head(5)
+        assert not queues[(0, 1)].is_at_head(5)
+
+    def test_sequence_numbers_are_monotonic(self):
+        queues = QueueSet([(0, 0)])
+        first = queues.enqueue((0, 0), QueueEntry(1, "rz", (0,), AncillaRole.PREPARE))
+        second = queues.enqueue((0, 0), QueueEntry(2, "cnot", (0, 1),
+                                                   AncillaRole.ROUTE))
+        assert second.sequence > first.sequence
+
+    def test_seniority_order_preserved(self):
+        queues = QueueSet([(0, 0)])
+        queues.enqueue((0, 0), QueueEntry(1, "rz", (0,), AncillaRole.PREPARE))
+        queues.enqueue((0, 0), QueueEntry(2, "cnot", (0, 1), AncillaRole.ROUTE))
+        assert [e.gate_index for e in queues[(0, 0)]] == [1, 2]
+
+    def test_remove_gate_everywhere(self):
+        queues = QueueSet([(0, 0), (0, 1)])
+        for pos in ((0, 0), (0, 1)):
+            queues.enqueue(pos, QueueEntry(7, "rz", (0,), AncillaRole.PREPARE))
+        removed = queues.remove_gate_everywhere(7)
+        assert removed == 2
+        assert queues.total_enqueued() == 0
+
+    def test_in_place_angle_level_update(self):
+        queues = QueueSet([(0, 0)])
+        queues.enqueue((0, 0), QueueEntry(3, "rz", (0,), AncillaRole.PREPARE))
+        updated = queues[(0, 0)].update_angle_level(3, 2)
+        assert updated == 1
+        assert queues[(0, 0)].head.angle_level == 2
+        # A lower level never overwrites a higher one.
+        assert queues[(0, 0)].update_angle_level(3, 1) == 0
+
+    def test_pop_from_empty_raises(self):
+        queues = QueueSet([(0, 0)])
+        with pytest.raises(IndexError):
+            queues[(0, 0)].pop_head()
+
+    def test_position_of_gate(self):
+        queues = QueueSet([(0, 0)])
+        queues.enqueue((0, 0), QueueEntry(1, "rz", (0,), AncillaRole.PREPARE))
+        queues.enqueue((0, 0), QueueEntry(2, "h", (1,), AncillaRole.HELPER))
+        assert queues[(0, 0)].position_of_gate(2) == 1
+        assert queues[(0, 0)].position_of_gate(9) is None
+
+
+class TestMst:
+    def layout(self):
+        return star_layout(9, StarVariant.STAR)
+
+    def test_activity_graph_covers_all_ancillas(self):
+        layout = self.layout()
+        graph = build_activity_graph(layout, {})
+        assert graph.number_of_nodes() == layout.num_ancilla
+        assert nx.is_connected(graph)
+
+    def test_mst_is_spanning_tree(self):
+        layout = self.layout()
+        mst = AncillaMst(layout, {})
+        assert mst.tree.number_of_edges() == layout.num_ancilla - 1
+        assert nx.is_connected(mst.tree)
+
+    def test_path_query_endpoints(self):
+        layout = self.layout()
+        mst = AncillaMst(layout, {})
+        start, goal = (0, 1), (4, 5)
+        path = mst.path(start, goal)
+        assert path[0] == start and path[-1] == goal
+        # every hop is grid-adjacent
+        for a, b in zip(path, path[1:]):
+            assert abs(a[0] - b[0]) + abs(a[1] - b[1]) == 1
+
+    def test_path_to_unknown_node_is_none(self):
+        layout = self.layout()
+        mst = AncillaMst(layout, {})
+        assert mst.path((0, 1), (99, 99)) is None
+
+    def test_mst_avoids_high_activity_edges(self):
+        """The minimax property: the bottleneck activity along the MST path is
+        never worse than the direct (shortest) route through a hot ancilla."""
+        layout = self.layout()
+        activity = {pos: 0.0 for pos in layout.ancilla_positions()}
+        hot = (2, 1)
+        activity[hot] = 1.0
+        mst = AncillaMst(layout, activity)
+        # (1, 1) and (3, 1) have a direct route through the hot tile and a
+        # detour around it; the minimax tree must pick the detour.
+        bottleneck = mst.bottleneck_activity((1, 1), (3, 1))
+        assert bottleneck < 1.0
+
+    def test_async_pipeline_latency(self):
+        layout = self.layout()
+        pipeline = AsyncMstPipeline(layout, period=25, latency=50)
+        pipeline.tick(0, {})
+        assert pipeline.current is None
+        pipeline.tick(25, {})
+        assert pipeline.current is None  # first result lands at t=50
+        pipeline.tick(50, {})
+        assert pipeline.current is not None
+        assert pipeline.current.snapshot_cycle == 0
+        assert pipeline.computations_started >= 2
+
+    def test_async_pipeline_uses_stale_snapshot(self):
+        layout = self.layout()
+        pipeline = AsyncMstPipeline(layout, period=10, latency=30)
+        pipeline.tick(0, {pos: 0.0 for pos in layout.ancilla_positions()})
+        for cycle in range(10, 80, 10):
+            pipeline.tick(cycle, {pos: 0.9 for pos in layout.ancilla_positions()})
+        # The currently available tree corresponds to a snapshot taken
+        # latency cycles before it became available.
+        assert pipeline.current.snapshot_cycle <= 80 - 30
+
+    def test_pipeline_rejects_bad_parameters(self):
+        layout = self.layout()
+        with pytest.raises(ValueError):
+            AsyncMstPipeline(layout, period=0, latency=10)
+        with pytest.raises(ValueError):
+            AsyncMstPipeline(layout, period=10, latency=-1)
+
+    def test_incremental_update_matches_recompute(self):
+        layout = self.layout()
+        activity = {pos: 0.1 for pos in layout.ancilla_positions()}
+        incremental = IncrementalMst(layout, activity)
+        edges = list(incremental.graph.edges())[:20]
+        import numpy as np
+        rng = np.random.default_rng(0)
+        for u, v in edges:
+            incremental.update_edge(u, v, float(rng.random()))
+            assert incremental.matches_full_recompute()
+
+    def test_incremental_update_unknown_edge_rejected(self):
+        layout = self.layout()
+        incremental = IncrementalMst(layout)
+        with pytest.raises(KeyError):
+            incremental.update_edge((0, 1), (5, 5), 0.3)
