@@ -9,6 +9,16 @@ subset of Table 3 at reduced size) so the whole suite finishes in minutes.
 Set the environment variable ``RESCQ_FULL=1`` to run the paper-sized
 workloads; expect several hours, comparable to the original artifact's 0.5-1
 hour on 16 threads plus our pure-Python overhead.
+
+Execution is routed through :mod:`repro.exec`:
+
+* ``RESCQ_JOBS=N`` fans simulation jobs out over N worker processes
+  (``RESCQ_JOBS=0`` means one worker per CPU);
+* ``RESCQ_CACHE=DIR`` memoises finished jobs on disk, so re-running a
+  harness skips every already-measured point.
+
+Results are identical for every setting — executors preserve job order and
+each job is independently seeded.
 """
 
 from __future__ import annotations
@@ -20,6 +30,8 @@ import pytest
 
 from repro import SimulationConfig
 from repro.circuits import Circuit
+from repro.exec import (ExecutionEngine, ParallelExecutor, ResultCache,
+                        SerialExecutor)
 from repro.scheduling import AutoBraidScheduler, GreedyScheduler, RescqScheduler
 from repro.workloads import (
     dnn_circuit,
@@ -39,6 +51,18 @@ FULL_SCALE = bool(int(os.environ.get("RESCQ_FULL", "0")))
 
 #: Number of seeded repetitions per configuration (the paper uses 10-1000).
 SEEDS = 5 if FULL_SCALE else 2
+
+
+def execution_engine() -> ExecutionEngine:
+    """Build the engine the harnesses run through (see module docstring)."""
+    jobs = int(os.environ.get("RESCQ_JOBS", "1"))
+    if jobs == 1:
+        executor = SerialExecutor()
+    else:
+        executor = ParallelExecutor(max_workers=jobs if jobs > 0 else None)
+    cache_dir = os.environ.get("RESCQ_CACHE")
+    cache = ResultCache(cache_dir) if cache_dir else None
+    return ExecutionEngine(executor=executor, cache=cache)
 
 
 def evaluation_suite() -> List[Circuit]:
@@ -85,6 +109,12 @@ def headline_config() -> SimulationConfig:
 @pytest.fixture(scope="session")
 def schedulers():
     return [GreedyScheduler(), AutoBraidScheduler(), RescqScheduler()]
+
+
+@pytest.fixture(scope="session")
+def engine() -> ExecutionEngine:
+    """Session-wide execution engine (RESCQ_JOBS / RESCQ_CACHE aware)."""
+    return execution_engine()
 
 
 @pytest.fixture(scope="session")

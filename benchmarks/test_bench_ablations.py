@@ -11,7 +11,7 @@ from repro.analysis import format_table
 from repro.scheduling import AutoBraidScheduler, RescqScheduler
 from repro.sim import geometric_mean, run_schedule
 
-from conftest import SEEDS, sensitivity_suite
+from conftest import SEEDS, execution_engine, sensitivity_suite
 
 
 VARIANTS = {
@@ -25,6 +25,7 @@ VARIANTS = {
 
 
 def run_ablations():
+    engine = execution_engine()
     circuits = sensitivity_suite()
     base_config = SimulationConfig()
     rows = []
@@ -34,7 +35,7 @@ def run_ablations():
         per_benchmark = []
         for circuit in circuits:
             results = run_schedule(RescqScheduler(name="rescq"), circuit,
-                                   config=config, seeds=SEEDS)
+                                   config=config, seeds=SEEDS, engine=engine)
             per_benchmark.append(
                 sum(r.total_cycles for r in results) / len(results))
         mean_cycles = geometric_mean(per_benchmark)
@@ -47,7 +48,7 @@ def run_ablations():
     per_benchmark = []
     for circuit in circuits:
         results = run_schedule(AutoBraidScheduler(), circuit,
-                               config=base_config, seeds=SEEDS)
+                               config=base_config, seeds=SEEDS, engine=engine)
         per_benchmark.append(sum(r.total_cycles for r in results) / len(results))
     baseline_cycles = geometric_mean(per_benchmark)
     rows.append({"variant": "autobraid (static baseline)",

@@ -11,13 +11,13 @@ from conftest import SEEDS, evaluation_suite
 
 
 def test_bench_fig10_normalised_execution_time(benchmark, headline_config,
-                                               schedulers):
+                                               schedulers, engine):
     circuits = evaluation_suite()
 
     def run():
         return run_execution_comparison(circuits, schedulers=schedulers,
                                         config=headline_config, seeds=SEEDS,
-                                        baseline="autobraid")
+                                        baseline="autobraid", engine=engine)
 
     summary = benchmark.pedantic(run, rounds=1, iterations=1)
     print()

@@ -7,12 +7,13 @@ from conftest import SEEDS, sensitivity_suite
 DISTANCES = (5, 7, 9, 11, 13)
 
 
-def test_bench_fig11_distance_sensitivity(benchmark, schedulers):
+def test_bench_fig11_distance_sensitivity(benchmark, schedulers, engine):
     circuits = sensitivity_suite()
 
     def run():
         return sweep_distance(schedulers, circuits, distances=DISTANCES,
-                              physical_error_rate=1e-4, seeds=SEEDS)
+                              physical_error_rate=1e-4, seeds=SEEDS,
+                              engine=engine)
 
     rows = benchmark.pedantic(run, rounds=1, iterations=1)
     print()

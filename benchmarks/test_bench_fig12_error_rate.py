@@ -7,12 +7,12 @@ from conftest import SEEDS, sensitivity_suite
 ERROR_RATES = (1e-3, 3e-4, 1e-4, 3e-5, 1e-5)
 
 
-def test_bench_fig12_error_rate_sensitivity(benchmark, schedulers):
+def test_bench_fig12_error_rate_sensitivity(benchmark, schedulers, engine):
     circuits = sensitivity_suite()
 
     def run():
         return sweep_error_rate(schedulers, circuits, error_rates=ERROR_RATES,
-                                distance=7, seeds=SEEDS)
+                                distance=7, seeds=SEEDS, engine=engine)
 
     rows = benchmark.pedantic(run, rounds=1, iterations=1)
     print()

@@ -8,12 +8,12 @@ from conftest import SEEDS, sensitivity_suite
 PERIODS = (25, 50, 100, 200)
 
 
-def test_bench_fig13_mst_period_sensitivity(benchmark):
+def test_bench_fig13_mst_period_sensitivity(benchmark, engine):
     circuits = sensitivity_suite()
 
     def run():
         return sweep_mst_period([RescqScheduler()], circuits, periods=PERIODS,
-                                seeds=SEEDS)
+                                seeds=SEEDS, engine=engine)
 
     rows = benchmark.pedantic(run, rounds=1, iterations=1)
     print()

@@ -17,12 +17,13 @@ from conftest import SEEDS, sensitivity_suite
 COMPRESSIONS = (0.0, 0.25, 0.5, 0.75, 1.0)
 
 
-def test_bench_fig14_compression_sensitivity(benchmark, schedulers):
+def test_bench_fig14_compression_sensitivity(benchmark, schedulers, engine):
     circuits = sensitivity_suite()
 
     def run():
         return sweep_compression(schedulers, circuits,
-                                 compressions=COMPRESSIONS, seeds=SEEDS)
+                                 compressions=COMPRESSIONS, seeds=SEEDS,
+                                 engine=engine)
 
     rows = benchmark.pedantic(run, rounds=1, iterations=1)
     print()

@@ -17,13 +17,13 @@ def _mean(histogram):
     return sum(k * v for k, v in histogram.items()) / total if total else 0.0
 
 
-def test_bench_fig5_latency_histograms(benchmark, headline_config):
+def test_bench_fig5_latency_histograms(benchmark, headline_config, engine):
     circuits = sensitivity_suite()
 
     def run():
         return latency_histograms(
             circuits, schedulers=[AutoBraidScheduler(), RescqScheduler()],
-            config=headline_config, seeds=SEEDS)
+            config=headline_config, seeds=SEEDS, engine=engine)
 
     histograms = benchmark.pedantic(run, rounds=1, iterations=1)
     print()

@@ -12,6 +12,10 @@ whole stack the paper's evaluation rests on:
   Clifford+T comparison;
 * :mod:`repro.scheduling` — RESCQ plus the greedy and AutoBraid baselines;
 * :mod:`repro.sim` — the seeded cycle-level symbolic-execution simulator;
+* :mod:`repro.exec` — the job-based execution engine: every sweep/comparison
+  is planned as explicit :class:`~repro.exec.SimJob` records and run through
+  pluggable executors (serial, multi-process) with an optional on-disk
+  result cache keyed by content fingerprint;
 * :mod:`repro.analysis` — sweeps and experiment drivers for every figure and
   table of the paper.
 
@@ -25,6 +29,15 @@ Quickstart::
     rows = compare_schedulers([AutoBraidScheduler(), RescqScheduler()], circuit,
                               config=SimulationConfig(), seeds=3)
     print({name: row.mean_cycles for name, row in rows.items()})
+
+To fan the same comparison out over worker processes with an on-disk memo of
+finished points::
+
+    from repro.exec import ExecutionEngine, ParallelExecutor, ResultCache
+
+    engine = ExecutionEngine(executor=ParallelExecutor(max_workers=8),
+                             cache=ResultCache(".rescq-cache"))
+    rows = compare_schedulers(..., engine=engine)
 """
 
 from .circuits import Circuit, Gate, GateType
@@ -38,6 +51,13 @@ from .sim import (
     default_layout,
     geometric_mean,
     run_schedule,
+)
+from .exec import (
+    ExecutionEngine,
+    ParallelExecutor,
+    ResultCache,
+    SerialExecutor,
+    SimJob,
 )
 
 __version__ = "1.0.0"
@@ -63,4 +83,9 @@ __all__ = [
     "compare_schedulers",
     "default_layout",
     "geometric_mean",
+    "SimJob",
+    "ExecutionEngine",
+    "SerialExecutor",
+    "ParallelExecutor",
+    "ResultCache",
 ]

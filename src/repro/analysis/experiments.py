@@ -4,6 +4,11 @@ These functions reproduce the paper's main evaluation loop: run every
 benchmark under every scheduler, normalise execution times to a baseline and
 report the geometric mean speed-up (Figure 10), and accumulate post-schedule
 completion-latency histograms for CNOT and Rz gates (Figure 5).
+
+Every driver plans its full (circuit x scheduler x seed) grid as one job
+list and executes it through a single
+:meth:`~repro.exec.engine.ExecutionEngine.run` call, so a parallel or cached
+engine accelerates the whole experiment, not one benchmark at a time.
 """
 
 from __future__ import annotations
@@ -12,10 +17,12 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence
 
 from ..circuits import Circuit
+from ..exec import ExecutionEngine, SimJob, plan_jobs
 from ..scheduling import AutoBraidScheduler, GreedyScheduler, RescqScheduler
 from ..sim import (
     SimulationConfig,
     SimulationResult,
+    aggregate_comparison,
     compare_schedulers,
     default_layout,
     geometric_mean,
@@ -71,11 +78,32 @@ class ExecutionSummary:
         return names
 
 
+def _run_grid(circuits: Sequence[Circuit], schedulers,
+              config: SimulationConfig, seeds: int,
+              engine: ExecutionEngine):
+    """Plan circuits x schedulers x seeds, run once, yield per-circuit rows."""
+    plans = []
+    jobs: List[SimJob] = []
+    for circuit in circuits:
+        layout = default_layout(circuit)
+        circuit_jobs = plan_jobs(schedulers, circuit, config, layout, seeds)
+        plans.append((circuit, circuit_jobs))
+        jobs.extend(circuit_jobs)
+    results = engine.run(jobs)
+    cursor = 0
+    for circuit, circuit_jobs in plans:
+        chunk = results[cursor:cursor + len(circuit_jobs)]
+        cursor += len(circuit_jobs)
+        yield circuit, aggregate_comparison(circuit_jobs, chunk)
+
+
 def run_execution_comparison(circuits: Sequence[Circuit],
                              schedulers=None,
                              config: Optional[SimulationConfig] = None,
                              seeds: int = 3,
-                             baseline: str = "autobraid") -> ExecutionSummary:
+                             baseline: str = "autobraid",
+                             engine: Optional[ExecutionEngine] = None
+                             ) -> ExecutionSummary:
     """Run the Figure 10 experiment over ``circuits``.
 
     The paper normalises to the static baselines and reports a ~2x geometric
@@ -83,10 +111,10 @@ def run_execution_comparison(circuits: Sequence[Circuit],
     """
     schedulers = schedulers if schedulers is not None else default_schedulers()
     config = config or SimulationConfig()
+    engine = engine or ExecutionEngine()
     summary = ExecutionSummary(baseline=baseline)
-    for circuit in circuits:
-        comparison = compare_schedulers(schedulers, circuit, config=config,
-                                        seeds=seeds)
+    for circuit, comparison in _run_grid(circuits, schedulers, config, seeds,
+                                         engine):
         summary.cycles[circuit.name] = {
             name: cell.mean_cycles for name, cell in comparison.items()}
         summary.spread[circuit.name] = {
@@ -99,23 +127,50 @@ def best_rescq_over_periods(circuits: Sequence[Circuit],
                             periods: Sequence[int] = (25, 50, 100, 200),
                             config: Optional[SimulationConfig] = None,
                             seeds: int = 2,
-                            baseline: str = "autobraid") -> ExecutionSummary:
+                            baseline: str = "autobraid",
+                            engine: Optional[ExecutionEngine] = None
+                            ) -> ExecutionSummary:
     """RESCQ* of Figure 10: the best RESCQ result over k in {25,50,100,200}."""
     config = config or SimulationConfig()
+    engine = engine or ExecutionEngine()
     summary = ExecutionSummary(baseline=baseline)
     baseline_schedulers = [GreedyScheduler(), AutoBraidScheduler()]
+
+    # Plan the baselines plus every (circuit, period) RESCQ cell as one grid;
+    # jobs are appended in plan order so results slice back positionally.
+    plans = []
+    jobs: List[SimJob] = []
     for circuit in circuits:
-        comparison = compare_schedulers(baseline_schedulers, circuit,
-                                        config=config, seeds=seeds)
+        layout = default_layout(circuit)
+        base_jobs = plan_jobs(baseline_schedulers, circuit, config, layout,
+                              seeds)
+        jobs.extend(base_jobs)
+        period_jobs = []
+        for period in periods:
+            rescq_config = config.with_updates(mst_period=int(period))
+            cell_jobs = plan_jobs([RescqScheduler()], circuit, rescq_config,
+                                  layout, seeds)
+            period_jobs.append(cell_jobs)
+            jobs.extend(cell_jobs)
+        plans.append((circuit, base_jobs, period_jobs))
+    results = engine.run(jobs)
+    cursor = 0
+
+    def take(job_list):
+        nonlocal cursor
+        chunk = results[cursor:cursor + len(job_list)]
+        cursor += len(job_list)
+        return chunk
+
+    for circuit, base_jobs, period_jobs in plans:
+        comparison = aggregate_comparison(base_jobs, take(base_jobs))
         cycles = {name: cell.mean_cycles for name, cell in comparison.items()}
         spread = {name: (cell.min_cycles, cell.max_cycles)
                   for name, cell in comparison.items()}
         best_mean = None
         best_spread = (0.0, 0.0)
-        for period in periods:
-            rescq_config = config.with_updates(mst_period=int(period))
-            rescq_rows = compare_schedulers([RescqScheduler()], circuit,
-                                            config=rescq_config, seeds=seeds)
+        for cell_jobs in period_jobs:
+            rescq_rows = aggregate_comparison(cell_jobs, take(cell_jobs))
             cell = rescq_rows["rescq"]
             if best_mean is None or cell.mean_cycles < best_mean:
                 best_mean = cell.mean_cycles
@@ -131,7 +186,9 @@ def latency_histograms(circuits: Sequence[Circuit],
                        schedulers=None,
                        config: Optional[SimulationConfig] = None,
                        seeds: int = 2,
-                       max_cycles: int = 30) -> Dict[str, Dict[str, Dict[int, int]]]:
+                       max_cycles: int = 30,
+                       engine: Optional[ExecutionEngine] = None
+                       ) -> Dict[str, Dict[str, Dict[int, int]]]:
     """Figure 5: per-scheduler histograms of post-schedule gate latency.
 
     Returns ``{scheduler: {"cnot": {cycles: count}, "rz": {cycles: count}}}``
@@ -139,12 +196,12 @@ def latency_histograms(circuits: Sequence[Circuit],
     """
     schedulers = schedulers if schedulers is not None else default_schedulers()
     config = config or SimulationConfig()
+    engine = engine or ExecutionEngine()
     histograms: Dict[str, Dict[str, Dict[int, int]]] = {}
     for scheduler in schedulers:
         histograms[scheduler.name] = {"cnot": {}, "rz": {}}
-    for circuit in circuits:
-        comparison = compare_schedulers(schedulers, circuit, config=config,
-                                        seeds=seeds)
+    for _circuit, comparison in _run_grid(circuits, schedulers, config, seeds,
+                                          engine):
         for scheduler in schedulers:
             cell = comparison[scheduler.name]
             for result in cell.results:

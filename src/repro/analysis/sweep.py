@@ -4,6 +4,13 @@ Each sweep runs a set of schedulers on a set of benchmarks while varying one
 parameter (code distance, physical error rate, MST period, or grid
 compression), returning flat rows that the benchmark harnesses and examples
 print as the series of Figures 11-14.
+
+Sweeps are planned as one flat job list — every
+(circuit, value, scheduler, seed) point — and executed in a single
+:meth:`~repro.exec.engine.ExecutionEngine.run` call, so a parallel engine
+fans the *entire* grid out at once instead of parallelising one comparison
+cell at a time.  Row order is deterministic: circuits in input order, values
+in input order, schedulers by name.
 """
 
 from __future__ import annotations
@@ -12,8 +19,10 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence
 
 from ..circuits import Circuit
+from ..exec import ExecutionEngine, SimJob, plan_jobs
 from ..fabric import StarVariant, compress_layout, star_layout
-from ..sim import SimulationConfig, compare_schedulers, default_layout
+from ..sim import (SimulationConfig, aggregate_comparison, compare_schedulers,
+                   default_layout)
 
 __all__ = ["SweepRow", "sweep_distance", "sweep_error_rate",
            "sweep_mst_period", "sweep_compression"]
@@ -46,25 +55,39 @@ class SweepRow:
 
 def _sweep(schedulers, circuits: Sequence[Circuit], parameter: str,
            values: Sequence[float], config_for, layout_for,
-           seeds: int) -> List[SweepRow]:
-    rows: List[SweepRow] = []
+           seeds: int, engine: Optional[ExecutionEngine] = None
+           ) -> List[SweepRow]:
+    engine = engine or ExecutionEngine()
+    # Plan the whole grid up front ...
+    points: List[tuple] = []
+    jobs: List[SimJob] = []
     for circuit in circuits:
         for value in values:
             config = config_for(value)
             layout = layout_for(circuit, value)
-            comparison = compare_schedulers(schedulers, circuit, config=config,
-                                            layout=layout, seeds=seeds)
-            for name, cell in comparison.items():
-                rows.append(SweepRow(
-                    benchmark=circuit.name,
-                    scheduler=name,
-                    parameter=parameter,
-                    value=value,
-                    mean_cycles=cell.mean_cycles,
-                    min_cycles=cell.min_cycles,
-                    max_cycles=cell.max_cycles,
-                    idle_fraction=cell.mean_idle_fraction,
-                ))
+            point_jobs = plan_jobs(schedulers, circuit, config, layout, seeds)
+            points.append((circuit, value, point_jobs))
+            jobs.extend(point_jobs)
+    # ... execute it in one engine call (order-preserving) ...
+    results = engine.run(jobs)
+    # ... and fold results back per point.
+    rows: List[SweepRow] = []
+    cursor = 0
+    for circuit, value, point_jobs in points:
+        chunk = results[cursor:cursor + len(point_jobs)]
+        cursor += len(point_jobs)
+        comparison = aggregate_comparison(point_jobs, chunk)
+        for name, cell in comparison.items():
+            rows.append(SweepRow(
+                benchmark=circuit.name,
+                scheduler=name,
+                parameter=parameter,
+                value=value,
+                mean_cycles=cell.mean_cycles,
+                min_cycles=cell.min_cycles,
+                max_cycles=cell.max_cycles,
+                idle_fraction=cell.mean_idle_fraction,
+            ))
     return rows
 
 
@@ -72,7 +95,8 @@ def sweep_distance(schedulers, circuits: Sequence[Circuit],
                    distances: Sequence[int] = (5, 7, 9, 11, 13),
                    physical_error_rate: float = 1e-4,
                    mst_period: int = 25,
-                   seeds: int = 3) -> List[SweepRow]:
+                   seeds: int = 3,
+                   engine: Optional[ExecutionEngine] = None) -> List[SweepRow]:
     """Figure 11: sensitivity to the code distance at fixed p."""
     base = SimulationConfig(physical_error_rate=physical_error_rate,
                             mst_period=mst_period)
@@ -80,28 +104,30 @@ def sweep_distance(schedulers, circuits: Sequence[Circuit],
         schedulers, circuits, "distance", list(distances),
         config_for=lambda d: base.with_updates(distance=int(d)),
         layout_for=lambda circuit, _value: default_layout(circuit),
-        seeds=seeds)
+        seeds=seeds, engine=engine)
 
 
 def sweep_error_rate(schedulers, circuits: Sequence[Circuit],
                      error_rates: Sequence[float] = (1e-3, 3e-4, 1e-4, 3e-5, 1e-5),
                      distance: int = 7,
                      mst_period: int = 25,
-                     seeds: int = 3) -> List[SweepRow]:
+                     seeds: int = 3,
+                     engine: Optional[ExecutionEngine] = None) -> List[SweepRow]:
     """Figure 12: sensitivity to the physical qubit error rate at fixed d."""
     base = SimulationConfig(distance=distance, mst_period=mst_period)
     return _sweep(
         schedulers, circuits, "physical_error_rate", list(error_rates),
         config_for=lambda p: base.with_updates(physical_error_rate=float(p)),
         layout_for=lambda circuit, _value: default_layout(circuit),
-        seeds=seeds)
+        seeds=seeds, engine=engine)
 
 
 def sweep_mst_period(schedulers, circuits: Sequence[Circuit],
                      periods: Sequence[int] = (25, 50, 100, 200),
                      distance: int = 7,
                      physical_error_rate: float = 1e-4,
-                     seeds: int = 3) -> List[SweepRow]:
+                     seeds: int = 3,
+                     engine: Optional[ExecutionEngine] = None) -> List[SweepRow]:
     """Figure 13: RESCQ's sensitivity to the MST recomputation period k."""
     base = SimulationConfig(distance=distance,
                             physical_error_rate=physical_error_rate)
@@ -109,7 +135,7 @@ def sweep_mst_period(schedulers, circuits: Sequence[Circuit],
         schedulers, circuits, "mst_period", list(periods),
         config_for=lambda k: base.with_updates(mst_period=int(k)),
         layout_for=lambda circuit, _value: default_layout(circuit),
-        seeds=seeds)
+        seeds=seeds, engine=engine)
 
 
 def sweep_compression(schedulers, circuits: Sequence[Circuit],
@@ -117,7 +143,8 @@ def sweep_compression(schedulers, circuits: Sequence[Circuit],
                       distance: int = 7,
                       physical_error_rate: float = 1e-4,
                       mst_period: int = 25,
-                      seeds: int = 3) -> List[SweepRow]:
+                      seeds: int = 3,
+                      engine: Optional[ExecutionEngine] = None) -> List[SweepRow]:
     """Figure 14: sensitivity to the ancilla availability (grid compression)."""
     base = SimulationConfig(distance=distance,
                             physical_error_rate=physical_error_rate,
@@ -133,4 +160,4 @@ def sweep_compression(schedulers, circuits: Sequence[Circuit],
         schedulers, circuits, "compression", list(compressions),
         config_for=lambda _value: base,
         layout_for=layout_for,
-        seeds=seeds)
+        seeds=seeds, engine=engine)

@@ -12,6 +12,12 @@ Subcommands
     compression) on a benchmark.
 ``prep``
     Print the Figure 16 preparation-statistics table.
+
+The ``run`` and ``sweep`` subcommands accept ``--jobs N`` (fan simulation
+jobs out over N worker processes) and ``--cache DIR`` (memoise finished jobs
+on disk so repeated invocations skip already-measured points).  Both print an
+``[exec]`` accounting line after the table; the table itself is byte-identical
+for every ``--jobs`` value.
 """
 
 from __future__ import annotations
@@ -29,6 +35,7 @@ from .analysis import (
     sweep_mst_period,
 )
 from .analysis.report import format_normalised_summary
+from .exec import ExecutionEngine, ParallelExecutor, ResultCache, SerialExecutor
 from .rus import PreparationModel
 from .scheduling import AutoBraidScheduler, GreedyScheduler, RescqScheduler
 from .sim import SimulationConfig, compare_schedulers
@@ -61,17 +68,43 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--mst-period", type=int, default=25)
     run_parser.add_argument("--compression", type=float, default=0.0)
     run_parser.add_argument("--seeds", type=int, default=3)
+    _add_engine_arguments(run_parser)
 
     sweep_parser = sub.add_parser("sweep", help="run a sensitivity sweep")
     sweep_parser.add_argument("kind", choices=["distance", "error-rate",
                                                "mst-period", "compression"])
     sweep_parser.add_argument("benchmark", help="benchmark name, e.g. qft_n18")
     sweep_parser.add_argument("--seeds", type=int, default=2)
+    _add_engine_arguments(sweep_parser)
 
     prep_parser = sub.add_parser("prep", help="Figure 16 preparation statistics")
     prep_parser.add_argument("--distances", default="5,7,9,11,13")
     prep_parser.add_argument("--error-rates", default="1e-3,1e-4,1e-5")
     return parser
+
+
+def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes for simulation jobs "
+                             "(default: 1, serial)")
+    parser.add_argument("--cache", default=None, metavar="DIR",
+                        help="directory for the on-disk result cache; "
+                             "repeated runs skip already-measured points")
+
+
+def _engine_from_args(args: argparse.Namespace) -> ExecutionEngine:
+    if args.jobs < 1:
+        raise SystemExit("--jobs must be >= 1")
+    executor = (ParallelExecutor(max_workers=args.jobs) if args.jobs > 1
+                else SerialExecutor())
+    cache = None
+    if args.cache:
+        try:
+            cache = ResultCache(args.cache)
+        except OSError as exc:
+            raise SystemExit(f"--cache {args.cache!r} is not a usable "
+                             f"directory: {exc}")
+    return ExecutionEngine(executor=executor, cache=cache)
 
 
 def _schedulers_from_names(names: str) -> List:
@@ -97,8 +130,10 @@ def _command_run(args: argparse.Namespace) -> int:
                               physical_error_rate=args.error_rate,
                               mst_period=args.mst_period)
     schedulers = _schedulers_from_names(args.schedulers)
+    engine = _engine_from_args(args)
     rows = compare_schedulers(schedulers, circuit, config=config,
-                              seeds=args.seeds, compression=args.compression)
+                              seeds=args.seeds, compression=args.compression,
+                              engine=engine)
     table = [{
         "scheduler": name,
         "mean_cycles": round(cell.mean_cycles, 1),
@@ -107,23 +142,30 @@ def _command_run(args: argparse.Namespace) -> int:
         "idle_fraction": round(cell.mean_idle_fraction, 3),
     } for name, cell in rows.items()]
     print(format_table(table, title=f"{spec.name} ({config.describe()})"))
+    print(engine.describe())
     return 0
 
 
 def _command_sweep(args: argparse.Namespace) -> int:
     spec = get_benchmark(args.benchmark)
     circuit = spec.build()
+    engine = _engine_from_args(args)
     schedulers = [GreedyScheduler(), AutoBraidScheduler(), RescqScheduler()]
     if args.kind == "distance":
-        rows = sweep_distance(schedulers, [circuit], seeds=args.seeds)
+        rows = sweep_distance(schedulers, [circuit], seeds=args.seeds,
+                              engine=engine)
     elif args.kind == "error-rate":
-        rows = sweep_error_rate(schedulers, [circuit], seeds=args.seeds)
+        rows = sweep_error_rate(schedulers, [circuit], seeds=args.seeds,
+                                engine=engine)
     elif args.kind == "mst-period":
-        rows = sweep_mst_period([RescqScheduler()], [circuit], seeds=args.seeds)
+        rows = sweep_mst_period([RescqScheduler()], [circuit],
+                                seeds=args.seeds, engine=engine)
     else:
-        rows = sweep_compression(schedulers, [circuit], seeds=args.seeds)
+        rows = sweep_compression(schedulers, [circuit], seeds=args.seeds,
+                                 engine=engine)
     print(format_table([row.as_dict() for row in rows],
                        title=f"{args.kind} sweep for {spec.name}"))
+    print(engine.describe())
     return 0
 
 

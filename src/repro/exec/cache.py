@@ -1,0 +1,105 @@
+"""On-disk memoisation of finished simulation jobs.
+
+The cache is a directory of ``<fingerprint>.json`` files, one per completed
+job, in the same JSON schema as :mod:`repro.analysis.export`.  Fingerprints
+are content hashes of the full job description (see
+:func:`repro.exec.jobs.job_fingerprint`), so a cache survives process
+restarts and can be shared between the CLI, benchmarks and notebooks: any
+sweep that revisits a measured point skips the scheduler run entirely.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, Union
+
+from ..sim.results import SimulationResult
+
+__all__ = ["ResultCache", "CacheStats"]
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/store counters accumulated over a cache's lifetime."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+
+    def describe(self) -> str:
+        return f"hits={self.hits} misses={self.misses} stores={self.stores}"
+
+
+class ResultCache:
+    """A directory-backed ``fingerprint -> SimulationResult`` store."""
+
+    def __init__(self, directory: Union[str, Path]) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.stats = CacheStats()
+
+    def _path(self, fingerprint: str) -> Path:
+        return self.directory / f"{fingerprint}.json"
+
+    def get(self, fingerprint: str) -> Optional[SimulationResult]:
+        """Return the cached result for ``fingerprint``, or ``None`` on miss.
+
+        Unreadable or corrupt entries count as misses; they are overwritten
+        the next time the job runs.
+        """
+        # Imported lazily: repro.analysis imports repro.sim, which is still
+        # mid-initialisation when this module first loads.
+        from ..analysis.export import result_from_dict
+        path = self._path(fingerprint)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+            result = result_from_dict(payload)
+        except (OSError, ValueError, KeyError, TypeError):
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return result
+
+    def put(self, fingerprint: str, result: SimulationResult) -> None:
+        """Store ``result`` under ``fingerprint`` (atomic write)."""
+        from ..analysis.export import result_to_dict
+        payload = json.dumps(result_to_dict(result), indent=None,
+                             separators=(",", ":"))
+        fd, tmp_name = tempfile.mkstemp(dir=str(self.directory),
+                                        suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(payload)
+            os.replace(tmp_name, self._path(fingerprint))
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        self.stats.stores += 1
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return self._path(fingerprint).exists()
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.directory.glob("*.json"))
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number of entries removed."""
+        removed = 0
+        for path in self.directory.glob("*.json"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def describe(self) -> str:
+        return f"cache[{self.directory}] {self.stats.describe()}"

@@ -1,0 +1,157 @@
+"""Simulation jobs: the unit of work the execution engine schedules.
+
+A :class:`SimJob` freezes everything one scheduler run depends on — the
+circuit, the scheduler instance, the simulation configuration, the layout and
+the seed — so the run can be shipped to a worker process or looked up in a
+result cache.  The cache key is :meth:`SimJob.fingerprint`, a SHA-256 over a
+canonical JSON description of those inputs.  The fingerprint deliberately
+avoids Python's randomised ``hash()`` and any ``id()``/``repr``-of-object
+content, so it is stable across interpreter processes and sessions.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Union
+
+from ..circuits import Circuit
+from ..circuits.textio import to_artifact_format
+from ..fabric.layout import GridLayout
+from ..sim.config import SimulationConfig
+from ..sim.results import SimulationResult
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from ..scheduling.base import Scheduler
+
+__all__ = ["SimJob", "job_fingerprint", "plan_jobs"]
+
+
+def _canonical(value):
+    """Reduce a value to JSON-serialisable data with a stable ordering."""
+    if isinstance(value, enum.Enum):
+        return value.value
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {name: _canonical(getattr(value, name))
+                for name in sorted(f.name for f in dataclasses.fields(value))}
+    if isinstance(value, dict):
+        return {str(key): _canonical(item)
+                for key, item in sorted(value.items(), key=lambda kv: str(kv[0]))}
+    if isinstance(value, (list, tuple)):
+        return [_canonical(item) for item in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+def _circuit_descriptor(circuit: Circuit) -> Dict[str, object]:
+    return {
+        "name": circuit.name,
+        "num_qubits": circuit.num_qubits,
+        "gates": to_artifact_format(circuit),
+    }
+
+
+def _scheduler_descriptor(scheduler: "Scheduler") -> Dict[str, object]:
+    return {
+        "class": type(scheduler).__name__,
+        "name": scheduler.name,
+        "params": _canonical(dict(vars(scheduler))),
+    }
+
+
+_TILE_CHARS = {"data": "d", "ancilla": "a", "disabled": "x"}
+
+
+def _layout_descriptor(layout: GridLayout) -> Dict[str, object]:
+    tile_rows = []
+    for row in range(layout.rows):
+        # One char per tile: 'd'ata, 'a'ncilla, 'x' disabled.
+        tile_rows.append("".join(
+            _TILE_CHARS[layout.tile_type((row, col)).value]
+            for col in range(layout.cols)))
+    return {
+        "rows": layout.rows,
+        "cols": layout.cols,
+        "tiles": tile_rows,
+        "data_positions": {str(qubit): list(position) for qubit, position
+                           in sorted(layout.data_positions.items())},
+    }
+
+
+def job_fingerprint(circuit: Circuit, scheduler: "Scheduler",
+                    config: SimulationConfig, layout: GridLayout,
+                    seed: int) -> str:
+    """Content hash of one simulation point, stable across processes."""
+    payload = {
+        "circuit": _circuit_descriptor(circuit),
+        "scheduler": _scheduler_descriptor(scheduler),
+        "config": _canonical(config),
+        "layout": _layout_descriptor(layout),
+        "seed": int(seed),
+    }
+    text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class SimJob:
+    """One (circuit, scheduler, config, layout, seed) simulation point.
+
+    Jobs are plain picklable records: :class:`ParallelExecutor` ships them to
+    worker processes whole, and :meth:`run` is all a worker needs to call.
+    """
+
+    circuit: Circuit
+    scheduler: "Scheduler"
+    config: SimulationConfig
+    layout: GridLayout
+    seed: int
+    _fingerprint: Optional[str] = field(default=None, repr=False, compare=False)
+
+    @property
+    def benchmark(self) -> str:
+        return self.circuit.name
+
+    @property
+    def scheduler_name(self) -> str:
+        return self.scheduler.name
+
+    def fingerprint(self) -> str:
+        """SHA-256 cache key over the job's full content (memoised)."""
+        if self._fingerprint is None:
+            self._fingerprint = job_fingerprint(
+                self.circuit, self.scheduler, self.config, self.layout,
+                self.seed)
+        return self._fingerprint
+
+    def run(self) -> SimulationResult:
+        """Execute the job in the current process."""
+        return self.scheduler.run(self.circuit, self.layout, self.config,
+                                  seed=self.seed)
+
+    def describe(self) -> str:
+        return (f"{self.benchmark}/{self.scheduler_name}"
+                f"[{self.config.describe()}] seed={self.seed}")
+
+
+def plan_jobs(schedulers: Sequence["Scheduler"], circuit: Circuit,
+              config: SimulationConfig, layout: GridLayout,
+              seeds: Union[int, Sequence[int]]) -> List[SimJob]:
+    """Expand one comparison point into its scheduler x seed job list.
+
+    ``seeds`` follows the :func:`repro.sim.runner.run_schedule` convention:
+    an integer means seeds ``0..n-1``, otherwise an explicit sequence.  Jobs
+    are emitted scheduler-major with seeds ascending, which is the order every
+    executor preserves.
+    """
+    if isinstance(seeds, int):
+        seed_list: Sequence[int] = range(seeds)
+    else:
+        seed_list = seeds
+    return [SimJob(circuit=circuit, scheduler=scheduler, config=config,
+                   layout=layout, seed=seed)
+            for scheduler in schedulers for seed in seed_list]

@@ -4,6 +4,7 @@ from .config import SimulationConfig
 from .results import GateTrace, SimulationResult, aggregate_results, geometric_mean
 from .runner import (
     ComparisonRow,
+    aggregate_comparison,
     compare_schedulers,
     default_layout,
     run_comparison,
@@ -17,6 +18,7 @@ __all__ = [
     "aggregate_results",
     "geometric_mean",
     "ComparisonRow",
+    "aggregate_comparison",
     "compare_schedulers",
     "run_comparison",
     "run_schedule",

@@ -1,4 +1,12 @@
-"""High-level simulation entry points used by examples, benchmarks and the CLI."""
+"""High-level simulation entry points used by examples, benchmarks and the CLI.
+
+Every entry point here plans its work as a list of
+:class:`~repro.exec.jobs.SimJob` records and executes them through an
+:class:`~repro.exec.engine.ExecutionEngine`.  Callers that pass no engine get
+a serial, uncached engine — bit-for-bit the behaviour of the original nested
+loops — while the CLI's ``--jobs``/``--cache`` flags and the benchmark
+harnesses inject parallel and memoised engines through the same parameter.
+"""
 
 from __future__ import annotations
 
@@ -11,7 +19,7 @@ from .config import SimulationConfig
 from .results import SimulationResult, aggregate_results, geometric_mean
 
 __all__ = ["default_layout", "run_schedule", "run_comparison",
-           "ComparisonRow", "compare_schedulers"]
+           "ComparisonRow", "compare_schedulers", "aggregate_comparison"]
 
 
 def default_layout(circuit: Circuit, compression: float = 0.0,
@@ -27,11 +35,18 @@ def default_layout(circuit: Circuit, compression: float = 0.0,
     return layout
 
 
+def _resolve_engine(engine=None):
+    """Default to a serial, uncached engine (the deterministic reference)."""
+    from ..exec.engine import ExecutionEngine
+    return engine if engine is not None else ExecutionEngine()
+
+
 def run_schedule(scheduler, circuit: Circuit,
                  config: Optional[SimulationConfig] = None,
                  layout: Optional[GridLayout] = None,
                  seeds: Union[int, Sequence[int]] = 1,
-                 compression: float = 0.0) -> List[SimulationResult]:
+                 compression: float = 0.0,
+                 engine=None) -> List[SimulationResult]:
     """Run ``scheduler`` on ``circuit`` for one or more seeds.
 
     Parameters
@@ -45,15 +60,16 @@ def run_schedule(scheduler, circuit: Circuit,
     seeds:
         Either the number of seeded repetitions (seeds 0..n-1) or an explicit
         sequence of seeds.
+    engine:
+        Optional :class:`~repro.exec.engine.ExecutionEngine`; defaults to
+        serial, uncached execution.  Results are returned in seed order no
+        matter which executor backs the engine.
     """
+    from ..exec.jobs import plan_jobs
     config = config or SimulationConfig()
     layout = layout or default_layout(circuit, compression=compression)
-    if isinstance(seeds, int):
-        seed_list: Sequence[int] = range(seeds)
-    else:
-        seed_list = seeds
-    return [scheduler.run(circuit, layout, config, seed=seed)
-            for seed in seed_list]
+    jobs = plan_jobs([scheduler], circuit, config, layout, seeds)
+    return _resolve_engine(engine).run(jobs)
 
 
 @dataclass
@@ -76,33 +92,60 @@ class ComparisonRow:
         return self.mean_cycles / reference.mean_cycles
 
 
-def compare_schedulers(schedulers, circuit: Circuit,
-                       config: Optional[SimulationConfig] = None,
-                       layout: Optional[GridLayout] = None,
-                       seeds: Union[int, Sequence[int]] = 3,
-                       compression: float = 0.0) -> Dict[str, ComparisonRow]:
-    """Run several schedulers on the same circuit/layout/seeds and aggregate."""
-    config = config or SimulationConfig()
-    layout = layout or default_layout(circuit, compression=compression)
+def aggregate_comparison(jobs, results: Sequence[SimulationResult]
+                         ) -> Dict[str, ComparisonRow]:
+    """Fold positionally-aligned ``(jobs, results)`` into comparison rows.
+
+    Rows are keyed and ordered by scheduler name (ascending), and each row's
+    ``results`` list is ordered by seed — deterministic regardless of the
+    executor that produced ``results``.
+    """
+    per_scheduler: Dict[str, List[SimulationResult]] = {}
+    benchmarks: Dict[str, str] = {}
+    for job, result in zip(jobs, results):
+        per_scheduler.setdefault(job.scheduler_name, []).append(result)
+        benchmarks[job.scheduler_name] = job.benchmark
     rows: Dict[str, ComparisonRow] = {}
-    for scheduler in schedulers:
-        results = run_schedule(scheduler, circuit, config=config,
-                               layout=layout, seeds=seeds)
-        aggregate = aggregate_results(results)
-        idle = (sum(result.idle_fraction() for result in results)
-                / len(results)) if results else 0.0
-        rows[scheduler.name] = ComparisonRow(
-            benchmark=circuit.name,
-            scheduler=scheduler.name,
+    for name in sorted(per_scheduler):
+        results_for = sorted(per_scheduler[name], key=lambda r: r.seed)
+        aggregate = aggregate_results(results_for)
+        idle = (sum(result.idle_fraction() for result in results_for)
+                / len(results_for)) if results_for else 0.0
+        rows[name] = ComparisonRow(
+            benchmark=benchmarks[name],
+            scheduler=name,
             mean_cycles=aggregate["mean"],
             min_cycles=aggregate["min"],
             max_cycles=aggregate["max"],
             mean_idle_fraction=idle,
             runs=int(aggregate["runs"]),
-            results=results,
+            results=results_for,
         )
     return rows
 
 
-# Backwards-compatible alias used in a few examples/benchmarks.
+def compare_schedulers(schedulers, circuit: Circuit,
+                       config: Optional[SimulationConfig] = None,
+                       layout: Optional[GridLayout] = None,
+                       seeds: Union[int, Sequence[int]] = 3,
+                       compression: float = 0.0,
+                       engine=None) -> Dict[str, ComparisonRow]:
+    """Run several schedulers on the same circuit/layout/seeds and aggregate.
+
+    The returned mapping is ordered by scheduler name (ascending) and each
+    row's per-seed ``results`` are ordered by seed, so output is identical
+    whether the underlying engine executes serially, in parallel, or from
+    cache.
+    """
+    from ..exec.jobs import plan_jobs
+    config = config or SimulationConfig()
+    layout = layout or default_layout(circuit, compression=compression)
+    jobs = plan_jobs(schedulers, circuit, config, layout, seeds)
+    results = _resolve_engine(engine).run(jobs)
+    return aggregate_comparison(jobs, results)
+
+
+#: Documented alias for :func:`compare_schedulers`, kept for the examples and
+#: benchmarks written against the original artifact's naming.  Identical
+#: semantics, including the sorted-by-scheduler-name row ordering.
 run_comparison = compare_schedulers

@@ -1,0 +1,270 @@
+"""Tests for the execution engine: jobs, executors, caching, determinism."""
+
+import json
+from concurrent.futures import ProcessPoolExecutor
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import SimulationConfig, compare_schedulers, default_layout
+from repro.exec import (
+    ExecutionEngine,
+    ParallelExecutor,
+    ResultCache,
+    SerialExecutor,
+    SimJob,
+    job_fingerprint,
+    plan_jobs,
+)
+from repro.scheduling import AutoBraidScheduler, GreedyScheduler, RescqScheduler
+from repro.sim import run_schedule
+from repro.workloads import qft_circuit
+
+FAST = SimulationConfig(mst_period=10, mst_latency=10)
+
+
+def make_jobs(num_seeds=2, num_qubits=5):
+    circuit = qft_circuit(num_qubits)
+    layout = default_layout(circuit)
+    return plan_jobs([AutoBraidScheduler(), RescqScheduler()], circuit, FAST,
+                     layout, num_seeds)
+
+
+def fingerprint_of(distance, mst_period, seed):
+    """Build a job from scratch and return its fingerprint.
+
+    Module-level so it can be pickled into a worker process: the test for
+    cross-process stability runs this exact function in a child interpreter.
+    """
+    circuit = qft_circuit(4)
+    config = SimulationConfig(distance=distance, mst_period=mst_period,
+                              mst_latency=10)
+    layout = default_layout(circuit)
+    return job_fingerprint(circuit, RescqScheduler(), config, layout, seed)
+
+
+class TestSimJob:
+    def test_run_matches_direct_scheduler_call(self):
+        job = make_jobs(num_seeds=1)[0]
+        direct = job.scheduler.run(job.circuit, job.layout, job.config,
+                                   seed=job.seed)
+        assert job.run() == direct
+
+    def test_plan_jobs_order_is_scheduler_major_seed_ascending(self):
+        jobs = make_jobs(num_seeds=3)
+        assert [(job.scheduler_name, job.seed) for job in jobs] == [
+            ("autobraid", 0), ("autobraid", 1), ("autobraid", 2),
+            ("rescq", 0), ("rescq", 1), ("rescq", 2)]
+
+    def test_plan_jobs_explicit_seed_sequence(self):
+        circuit = qft_circuit(4)
+        jobs = plan_jobs([RescqScheduler()], circuit, FAST,
+                         default_layout(circuit), [7, 3])
+        assert [job.seed for job in jobs] == [7, 3]
+
+    def test_fingerprint_is_content_addressed(self):
+        first, second = make_jobs(num_seeds=1)[0], make_jobs(num_seeds=1)[0]
+        assert first is not second
+        assert first.fingerprint() == second.fingerprint()
+
+    def test_fingerprint_varies_with_every_input(self):
+        base = make_jobs(num_seeds=1)[0]
+        variants = [
+            SimJob(base.circuit, base.scheduler, base.config, base.layout, 99),
+            SimJob(base.circuit, base.scheduler,
+                   base.config.with_updates(distance=9), base.layout,
+                   base.seed),
+            SimJob(qft_circuit(6), base.scheduler, base.config,
+                   default_layout(qft_circuit(6)), base.seed),
+            SimJob(base.circuit, GreedyScheduler(), base.config, base.layout,
+                   base.seed),
+        ]
+        fingerprints = {job.fingerprint() for job in variants}
+        assert base.fingerprint() not in fingerprints
+        assert len(fingerprints) == len(variants)
+
+    def test_fingerprint_sees_scheduler_parameters(self):
+        base = make_jobs(num_seeds=1)[0]
+        ablated = SimJob(base.circuit,
+                         RescqScheduler(lookahead_preparation=False),
+                         base.config, base.layout, base.seed)
+        renamed = SimJob(base.circuit, RescqScheduler(name="rescq-v2"),
+                         base.config, base.layout, base.seed)
+        assert len({base.fingerprint(), ablated.fingerprint(),
+                    renamed.fingerprint()}) == 3
+
+    @settings(max_examples=10, deadline=None)
+    @given(distance=st.sampled_from([3, 5, 7, 9]),
+           mst_period=st.integers(min_value=5, max_value=200),
+           seed=st.integers(min_value=0, max_value=2**31 - 1))
+    def test_fingerprint_stable_across_processes(self, pool, distance,
+                                                 mst_period, seed):
+        """Property: a worker process derives the exact same fingerprint."""
+        parent = fingerprint_of(distance, mst_period, seed)
+        child = pool.submit(fingerprint_of, distance, mst_period,
+                            seed).result()
+        assert parent == child
+
+
+@pytest.fixture(scope="module")
+def pool():
+    with ProcessPoolExecutor(max_workers=1) as executor:
+        yield executor
+
+
+class TestExecutors:
+    def test_serial_preserves_job_order(self):
+        jobs = make_jobs()
+        results = SerialExecutor().run_jobs(jobs)
+        assert [(r.scheduler, r.seed) for r in results] == [
+            (job.scheduler_name, job.seed) for job in jobs]
+
+    def test_parallel_equals_serial(self):
+        """The headline guarantee: same jobs -> identical results."""
+        jobs = make_jobs(num_seeds=2)
+        serial = SerialExecutor().run_jobs(jobs)
+        parallel = ParallelExecutor(max_workers=2,
+                                    chunksize=1).run_jobs(jobs)
+        assert serial == parallel
+
+    def test_parallel_single_worker_runs_inline(self):
+        jobs = make_jobs(num_seeds=1)
+        assert (ParallelExecutor(max_workers=1).run_jobs(jobs)
+                == SerialExecutor().run_jobs(jobs))
+
+    def test_parallel_empty_job_list(self):
+        assert ParallelExecutor(max_workers=2).run_jobs([]) == []
+
+    def test_parallel_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            ParallelExecutor(max_workers=0)
+        with pytest.raises(ValueError):
+            ParallelExecutor(chunksize=0)
+
+
+class TestResultCache:
+    def test_miss_then_hit_roundtrip(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        job = make_jobs(num_seeds=1)[0]
+        key = job.fingerprint()
+        assert cache.get(key) is None
+        result = job.run()
+        cache.put(key, result)
+        assert key in cache
+        assert cache.get(key) == result
+        assert cache.stats.describe() == "hits=1 misses=1 stores=1"
+
+    def test_corrupt_entry_counts_as_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        path = tmp_path / ("a" * 64 + ".json")
+        path.write_text("{not json")
+        assert cache.get("a" * 64) is None
+        assert cache.stats.misses == 1
+
+    def test_len_and_clear(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        job = make_jobs(num_seeds=1)[0]
+        cache.put(job.fingerprint(), job.run())
+        assert len(cache) == 1
+        assert cache.clear() == 1
+        assert len(cache) == 0
+
+    def test_entries_are_valid_json(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        job = make_jobs(num_seeds=1)[0]
+        cache.put(job.fingerprint(), job.run())
+        payload = json.loads(
+            (tmp_path / f"{job.fingerprint()}.json").read_text())
+        assert payload["scheduler"] == job.scheduler_name
+
+
+class TestExecutionEngine:
+    def test_results_in_job_order(self):
+        jobs = make_jobs()
+        engine = ExecutionEngine()
+        results = engine.run(jobs)
+        assert [(r.scheduler, r.seed) for r in results] == [
+            (job.scheduler_name, job.seed) for job in jobs]
+        assert engine.stats.jobs == engine.stats.executed == len(jobs)
+
+    def test_second_run_is_fully_cached(self, tmp_path):
+        jobs = make_jobs()
+        first_engine = ExecutionEngine(cache=ResultCache(tmp_path))
+        first = first_engine.run(jobs)
+        second_engine = ExecutionEngine(cache=ResultCache(tmp_path))
+        second = second_engine.run(make_jobs())
+        assert second == first
+        assert second_engine.stats.executed == 0
+        assert second_engine.stats.cache_hits == len(jobs)
+
+    def test_partial_cache_executes_only_misses(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        jobs = make_jobs(num_seeds=2)
+        cache.put(jobs[0].fingerprint(), jobs[0].run())
+        engine = ExecutionEngine(cache=cache)
+        results = engine.run(jobs)
+        assert engine.stats.cache_hits == 1
+        assert engine.stats.executed == len(jobs) - 1
+        assert results == SerialExecutor().run_jobs(jobs)
+
+    def test_parallel_cached_engine_matches_serial_uncached(self, tmp_path):
+        jobs = make_jobs(num_seeds=2)
+        reference = ExecutionEngine().run(jobs)
+        fancy = ExecutionEngine(
+            executor=ParallelExecutor(max_workers=2),
+            cache=ResultCache(tmp_path))
+        assert fancy.run(make_jobs(num_seeds=2)) == reference
+        # And again, now entirely from cache.
+        assert fancy.run(make_jobs(num_seeds=2)) == reference
+        assert fancy.stats.executed == len(jobs)
+
+    def test_describe_reports_counters(self, tmp_path):
+        engine = ExecutionEngine(cache=ResultCache(tmp_path))
+        engine.run(make_jobs(num_seeds=1))
+        text = engine.describe()
+        assert text.startswith("[exec] jobs=2 executed=2 cache_hits=0")
+        assert "stores=2" in text
+
+
+class TestRunnerIntegration:
+    def test_run_schedule_engine_parameter(self):
+        circuit = qft_circuit(5)
+        scheduler = RescqScheduler()
+        default = run_schedule(scheduler, circuit, config=FAST, seeds=2)
+        engineered = run_schedule(
+            scheduler, circuit, config=FAST, seeds=2,
+            engine=ExecutionEngine(executor=ParallelExecutor(max_workers=2)))
+        assert default == engineered
+
+    def test_compare_schedulers_rows_sorted_by_name(self):
+        circuit = qft_circuit(5)
+        rows = compare_schedulers(
+            [RescqScheduler(), GreedyScheduler(), AutoBraidScheduler()],
+            circuit, config=FAST, seeds=1)
+        assert list(rows) == ["autobraid", "greedy", "rescq"]
+
+    def test_compare_schedulers_results_sorted_by_seed(self):
+        circuit = qft_circuit(5)
+        rows = compare_schedulers([RescqScheduler()], circuit, config=FAST,
+                                  seeds=[2, 0, 1])
+        assert [r.seed for r in rows["rescq"].results] == [0, 1, 2]
+
+    def test_compare_schedulers_identical_across_engines(self, tmp_path):
+        circuit = qft_circuit(5)
+
+        def run(engine=None):
+            return compare_schedulers(
+                [AutoBraidScheduler(), RescqScheduler()], circuit,
+                config=FAST, seeds=2, engine=engine)
+
+        reference = run()
+        parallel = run(ExecutionEngine(
+            executor=ParallelExecutor(max_workers=2)))
+        cached_engine = ExecutionEngine(cache=ResultCache(tmp_path))
+        run(cached_engine)          # populate
+        cached = run(cached_engine)  # replay
+        for rows in (parallel, cached):
+            assert list(rows) == list(reference)
+            for name in reference:
+                assert rows[name] == reference[name]
