@@ -29,10 +29,10 @@ from typing import Dict, List
 import pytest
 
 from repro import SimulationConfig
+from repro.api import build_engine
 from repro.circuits import Circuit
-from repro.exec import (ExecutionEngine, ParallelExecutor, ResultCache,
-                        SerialExecutor)
-from repro.scheduling import AutoBraidScheduler, GreedyScheduler, RescqScheduler
+from repro.exec import ExecutionEngine
+from repro.scheduling import DEFAULT_SCHEDULER_NAMES, SCHEDULER_REGISTRY
 from repro.workloads import (
     dnn_circuit,
     gcm_circuit,
@@ -55,14 +55,8 @@ SEEDS = 5 if FULL_SCALE else 2
 
 def execution_engine() -> ExecutionEngine:
     """Build the engine the harnesses run through (see module docstring)."""
-    jobs = int(os.environ.get("RESCQ_JOBS", "1"))
-    if jobs == 1:
-        executor = SerialExecutor()
-    else:
-        executor = ParallelExecutor(max_workers=jobs if jobs > 0 else None)
-    cache_dir = os.environ.get("RESCQ_CACHE")
-    cache = ResultCache(cache_dir) if cache_dir else None
-    return ExecutionEngine(executor=executor, cache=cache)
+    return build_engine(jobs=int(os.environ.get("RESCQ_JOBS", "1")),
+                        cache=os.environ.get("RESCQ_CACHE"))
 
 
 def evaluation_suite() -> List[Circuit]:
@@ -108,7 +102,8 @@ def headline_config() -> SimulationConfig:
 
 @pytest.fixture(scope="session")
 def schedulers():
-    return [GreedyScheduler(), AutoBraidScheduler(), RescqScheduler()]
+    return [SCHEDULER_REGISTRY.create(name)
+            for name in DEFAULT_SCHEDULER_NAMES]
 
 
 @pytest.fixture(scope="session")

@@ -8,10 +8,18 @@ baseline for context.
 
 from repro import SimulationConfig, default_layout
 from repro.analysis import format_table
+from repro.exec import plan_jobs
 from repro.scheduling import AutoBraidScheduler, RescqScheduler
-from repro.sim import geometric_mean, run_schedule
+from repro.sim import geometric_mean
 
 from conftest import SEEDS, execution_engine, sensitivity_suite
+
+
+def run_scheduler(scheduler, circuit, config, engine):
+    """Run one (scheduler, circuit) cell for SEEDS seeds through the engine."""
+    jobs = plan_jobs([scheduler], circuit, config, default_layout(circuit),
+                     SEEDS)
+    return engine.run(jobs)
 
 
 VARIANTS = {
@@ -34,8 +42,8 @@ def run_ablations():
         config = base_config.with_updates(**overrides)
         per_benchmark = []
         for circuit in circuits:
-            results = run_schedule(RescqScheduler(name="rescq"), circuit,
-                                   config=config, seeds=SEEDS, engine=engine)
+            results = run_scheduler(RescqScheduler(name="rescq"), circuit,
+                                    config, engine)
             per_benchmark.append(
                 sum(r.total_cycles for r in results) / len(results))
         mean_cycles = geometric_mean(per_benchmark)
@@ -47,8 +55,8 @@ def run_ablations():
     # Static baseline for context.
     per_benchmark = []
     for circuit in circuits:
-        results = run_schedule(AutoBraidScheduler(), circuit,
-                               config=base_config, seeds=SEEDS, engine=engine)
+        results = run_scheduler(AutoBraidScheduler(), circuit, base_config,
+                                engine)
         per_benchmark.append(sum(r.total_cycles for r in results) / len(results))
     baseline_cycles = geometric_mean(per_benchmark)
     rows.append({"variant": "autobraid (static baseline)",

@@ -1,6 +1,6 @@
 """Figure 11 — sensitivity of every scheduler to the code distance (p=1e-4)."""
 
-from repro.analysis import format_table, sweep_distance
+from repro.analysis import format_table, run_axis_sweep
 
 from conftest import SEEDS, sensitivity_suite
 
@@ -11,9 +11,8 @@ def test_bench_fig11_distance_sensitivity(benchmark, schedulers, engine):
     circuits = sensitivity_suite()
 
     def run():
-        return sweep_distance(schedulers, circuits, distances=DISTANCES,
-                              physical_error_rate=1e-4, seeds=SEEDS,
-                              engine=engine)
+        return run_axis_sweep("distance", schedulers, circuits,
+                              values=DISTANCES, seeds=SEEDS, engine=engine)
 
     rows = benchmark.pedantic(run, rounds=1, iterations=1)
     print()

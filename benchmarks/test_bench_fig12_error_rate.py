@@ -1,6 +1,6 @@
 """Figure 12 — sensitivity of every scheduler to the physical error rate (d=7)."""
 
-from repro.analysis import format_table, sweep_error_rate
+from repro.analysis import format_table, run_axis_sweep
 
 from conftest import SEEDS, sensitivity_suite
 
@@ -11,8 +11,8 @@ def test_bench_fig12_error_rate_sensitivity(benchmark, schedulers, engine):
     circuits = sensitivity_suite()
 
     def run():
-        return sweep_error_rate(schedulers, circuits, error_rates=ERROR_RATES,
-                                distance=7, seeds=SEEDS, engine=engine)
+        return run_axis_sweep("error-rate", schedulers, circuits,
+                              values=ERROR_RATES, seeds=SEEDS, engine=engine)
 
     rows = benchmark.pedantic(run, rounds=1, iterations=1)
     print()

@@ -1,6 +1,6 @@
 """Figure 13 — RESCQ's sensitivity to the MST recomputation period k."""
 
-from repro.analysis import format_table, sweep_mst_period
+from repro.analysis import format_table, run_axis_sweep
 from repro.scheduling import RescqScheduler
 
 from conftest import SEEDS, sensitivity_suite
@@ -12,8 +12,8 @@ def test_bench_fig13_mst_period_sensitivity(benchmark, engine):
     circuits = sensitivity_suite()
 
     def run():
-        return sweep_mst_period([RescqScheduler()], circuits, periods=PERIODS,
-                                seeds=SEEDS, engine=engine)
+        return run_axis_sweep("mst-period", [RescqScheduler()], circuits,
+                              values=PERIODS, seeds=SEEDS, engine=engine)
 
     rows = benchmark.pedantic(run, rounds=1, iterations=1)
     print()

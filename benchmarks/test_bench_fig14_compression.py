@@ -8,7 +8,7 @@ compression pass additionally preserves ancilla-fabric connectivity (see
 DESIGN.md).
 """
 
-from repro.analysis import format_table, sweep_compression
+from repro.analysis import format_table, run_axis_sweep
 from repro.fabric import StarVariant, compress_layout, star_layout
 from repro.sim import geometric_mean
 
@@ -21,9 +21,8 @@ def test_bench_fig14_compression_sensitivity(benchmark, schedulers, engine):
     circuits = sensitivity_suite()
 
     def run():
-        return sweep_compression(schedulers, circuits,
-                                 compressions=COMPRESSIONS, seeds=SEEDS,
-                                 engine=engine)
+        return run_axis_sweep("compression", schedulers, circuits,
+                              values=COMPRESSIONS, seeds=SEEDS, engine=engine)
 
     rows = benchmark.pedantic(run, rounds=1, iterations=1)
     print()

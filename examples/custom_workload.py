@@ -8,7 +8,9 @@ Demonstrates the full front-end path a downstream user would follow:
 2. lower it into the Clifford+Rz scheduler basis;
 3. export/import it through the artifact text format of the paper's appendix
    B.7 (the same format the original simulator consumes);
-4. schedule it with RESCQ and inspect per-gate traces.
+4. register it as a named benchmark, so experiment specs (and the
+   ``rescq exp``/``rescq run`` CLI) can address it like any Table 3 row;
+5. run it with RESCQ through the declarative API and inspect per-gate traces.
 
 Run with::
 
@@ -17,8 +19,8 @@ Run with::
 
 import math
 
-from repro import RescqScheduler, SimulationConfig, default_layout
 from repro.analysis import format_table
+from repro.api import ExperimentSpec, run_experiment
 from repro.circuits import (
     Circuit,
     Gate,
@@ -27,6 +29,7 @@ from repro.circuits import (
     to_artifact_format,
     transpile_to_clifford_rz,
 )
+from repro.workloads import BenchmarkSpec, register_benchmark
 
 
 def build_high_level_circuit() -> Circuit:
@@ -57,9 +60,19 @@ def main() -> None:
     reloaded = from_artifact_format(text, num_qubits=lowered.num_qubits,
                                     name=lowered.name)
 
-    config = SimulationConfig()
-    result = RescqScheduler().run(reloaded, default_layout(reloaded), config,
-                                  seed=0)
+    # Register the imported circuit; from here on it is addressable by name
+    # in any ExperimentSpec (and from `rescq exp` spec files).
+    stats = reloaded.stats()
+    register_benchmark(BenchmarkSpec(
+        name="custom_chemistry", suite="custom",
+        num_qubits=reloaded.num_qubits,
+        paper_rz=stats.num_rz, paper_cnot=stats.num_cnot,
+        builder=lambda: reloaded))
+
+    spec = ExperimentSpec(name="custom_chemistry",
+                          benchmarks=("custom_chemistry",),
+                          schedulers=("rescq",), seeds=1)
+    result = run_experiment(spec).results[0]
     print(f"\nRESCQ executed {result.num_gates} gates in "
           f"{result.total_cycles} cycles "
           f"(idle fraction {result.idle_fraction():.2f})")

@@ -13,9 +13,10 @@ Run with::
 
 from repro import SimulationConfig
 from repro.analysis import format_table
+from repro.api import ResultSet
+from repro.exec import ExecutionEngine, plan_jobs
 from repro.fabric import StarVariant, compress_layout, star_layout
 from repro.scheduling import AutoBraidScheduler, RescqScheduler
-from repro.sim import run_schedule
 from repro.workloads import dnn_circuit
 
 
@@ -23,15 +24,18 @@ def main() -> None:
     circuit = dnn_circuit(8, layers=3)
     config = SimulationConfig()
     base_layout = star_layout(circuit.num_qubits, StarVariant.STAR)
+    schedulers = [AutoBraidScheduler(), RescqScheduler()]
+    engine = ExecutionEngine()
 
+    # Unregistered circuit + hand-built layouts: plan jobs explicitly and
+    # fold them through ResultSet (the declarative spec path needs names).
     rows = []
     for fraction in (0.0, 0.25, 0.5, 0.75, 1.0):
         layout, report = compress_layout(base_layout, fraction, seed=13)
-        cells = {}
-        for scheduler in (AutoBraidScheduler(), RescqScheduler()):
-            results = run_schedule(scheduler, circuit, config=config,
-                                   layout=layout, seeds=3)
-            cells[scheduler.name] = sum(r.total_cycles for r in results) / 3
+        jobs = plan_jobs(schedulers, circuit, config, layout, seeds=3)
+        point = ResultSet.from_jobs(jobs, engine.run(jobs))
+        cells = {name: cell.mean_cycles
+                 for name, cell in point.comparison_rows().items()}
         rows.append({
             "requested_compression": fraction,
             "achieved_compression": round(report.achieved_fraction, 2),

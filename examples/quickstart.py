@@ -1,27 +1,38 @@
 #!/usr/bin/env python3
-"""Quickstart: schedule one circuit with RESCQ and the static baselines.
+"""Quickstart: declare an experiment, run it, slice the results.
 
 This is the five-minute tour of the library:
 
-1. build a Clifford+Rz workload (here a 12-qubit QFT);
-2. lay it out on a STAR surface-code grid (one 2x2 block per qubit);
-3. run the greedy / AutoBraid static baselines and the RESCQ realtime
-   scheduler on identical seeds;
-4. print total cycle counts, idle fractions and per-gate latency summaries.
+1. describe an experiment declaratively — benchmark x schedulers x seeds —
+   as an :class:`repro.api.ExperimentSpec` (a JSON-serializable artifact);
+2. execute it through :func:`repro.api.run_experiment`, which plans
+   simulation jobs and runs them through the execution engine;
+3. slice the returned :class:`repro.api.ResultSet` per scheduler and print
+   total cycle counts, idle fractions and per-gate latency summaries.
+
+The same spec can be saved with ``spec.save("my_experiment.json")`` and
+re-run from the command line with ``rescq exp my_experiment.json``.
 
 Run with::
 
     python examples/quickstart.py
 """
 
-from repro import SimulationConfig, compare_schedulers, default_layout
+from repro.api import BENCHMARKS, ExperimentSpec, run_experiment
 from repro.analysis import format_table
-from repro.scheduling import AutoBraidScheduler, GreedyScheduler, RescqScheduler
-from repro.workloads import qft_circuit
+from repro.sim import default_layout
 
 
 def main() -> None:
-    circuit = qft_circuit(12)
+    spec = ExperimentSpec(
+        name="quickstart",
+        benchmarks=("qft_n18",),
+        schedulers=("greedy", "autobraid", "rescq"),
+        seeds=3,
+    )
+    print(spec.describe())
+
+    circuit = BENCHMARKS.get("qft_n18").build()
     stats = circuit.stats()
     print(f"workload: {circuit.name}  qubits={stats.num_qubits}  "
           f"Rz={stats.num_rz}  CNOT={stats.num_cnot}  depth={stats.depth}")
@@ -30,15 +41,12 @@ def main() -> None:
     print(f"layout:   {layout.rows}x{layout.cols} tiles, "
           f"{layout.num_ancilla} ancilla ({layout.ancilla_per_data:.1f} per data qubit)")
 
-    config = SimulationConfig(distance=7, physical_error_rate=1e-4,
-                              mst_period=25)
-    schedulers = [GreedyScheduler(), AutoBraidScheduler(), RescqScheduler()]
-    rows = compare_schedulers(schedulers, circuit, config=config,
-                              layout=layout, seeds=3)
+    results = run_experiment(spec)
+    cells = results.comparison_rows()
 
     table = []
-    baseline = rows["autobraid"].mean_cycles
-    for name, cell in rows.items():
+    baseline = cells["autobraid"].mean_cycles
+    for name, cell in cells.items():
         example_result = cell.results[0]
         table.append({
             "scheduler": name,
@@ -49,10 +57,14 @@ def main() -> None:
             "mean_cnot_latency": round(example_result.mean_latency("cnot"), 2),
         })
     print()
-    print(format_table(table, title=f"{circuit.name} @ {config.describe()}"))
+    print(format_table(table, title=f"{circuit.name} @ "
+                                    f"{spec.base_config().describe()}"))
 
-    speedup = baseline / rows["rescq"].mean_cycles
+    speedup = baseline / cells["rescq"].mean_cycles
     print(f"RESCQ speedup over AutoBraid on this workload: {speedup:.2f}x")
+    print()
+    print("the same experiment as a shareable JSON spec:")
+    print(spec.to_json())
 
 
 if __name__ == "__main__":

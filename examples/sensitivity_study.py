@@ -5,6 +5,12 @@ Runs the three representative workload families (rotation-dominated dnn,
 mixed gcm, routing-dominated qft) through the distance, error-rate and
 MST-period sweeps of Figures 11-13 and prints the resulting series.
 
+Each sweep is one registered :class:`repro.api.SweepAxis` driven through
+:func:`repro.analysis.run_axis_sweep`; at paper sizes the same axes can be
+swept on registered benchmarks from a spec file, e.g.::
+
+    rescq exp <(echo '{"benchmarks": ["dnn_n16"], "grid": {"distance": [5, 7, 9]}}')
+
 Run with::
 
     python examples/sensitivity_study.py            # scaled-down, ~1 minute
@@ -13,13 +19,8 @@ Run with::
 
 import argparse
 
-from repro.analysis import (
-    format_table,
-    sweep_distance,
-    sweep_error_rate,
-    sweep_mst_period,
-)
-from repro.scheduling import AutoBraidScheduler, GreedyScheduler, RescqScheduler
+from repro.analysis import format_table, run_axis_sweep
+from repro.scheduling import DEFAULT_SCHEDULER_NAMES, SCHEDULER_REGISTRY
 from repro.workloads import dnn_circuit, gcm_circuit, get_benchmark, qft_circuit
 
 
@@ -40,21 +41,23 @@ def main() -> None:
     args = parser.parse_args()
 
     circuits = build_circuits(args.full)
-    schedulers = [GreedyScheduler(), AutoBraidScheduler(), RescqScheduler()]
+    schedulers = [SCHEDULER_REGISTRY.create(name)
+                  for name in DEFAULT_SCHEDULER_NAMES]
 
     print("=== Figure 11: sensitivity to code distance (p = 1e-4) ===")
-    rows = sweep_distance(schedulers, circuits, distances=(5, 7, 9, 11, 13),
-                          seeds=args.seeds)
+    rows = run_axis_sweep("distance", schedulers, circuits,
+                          values=(5, 7, 9, 11, 13), seeds=args.seeds)
     print(format_table([row.as_dict() for row in rows]))
 
     print("=== Figure 12: sensitivity to physical error rate (d = 7) ===")
-    rows = sweep_error_rate(schedulers, circuits,
-                            error_rates=(1e-3, 1e-4, 1e-5), seeds=args.seeds)
+    rows = run_axis_sweep("error-rate", schedulers, circuits,
+                          values=(1e-3, 1e-4, 1e-5), seeds=args.seeds)
     print(format_table([row.as_dict() for row in rows]))
 
     print("=== Figure 13: RESCQ sensitivity to MST recomputation period ===")
-    rows = sweep_mst_period([RescqScheduler()], circuits,
-                            periods=(25, 50, 100, 200), seeds=args.seeds)
+    rows = run_axis_sweep("mst-period", [SCHEDULER_REGISTRY.create("rescq")],
+                          circuits, values=(25, 50, 100, 200),
+                          seeds=args.seeds)
     print(format_table([row.as_dict() for row in rows]))
 
 

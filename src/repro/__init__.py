@@ -19,25 +19,28 @@ whole stack the paper's evaluation rests on:
 * :mod:`repro.analysis` — sweeps and experiment drivers for every figure and
   table of the paper.
 
+* :mod:`repro.api` — the declarative layer: named registries for schedulers,
+  benchmarks, layouts and sweep axes; :class:`~repro.api.ExperimentSpec`
+  (a JSON-round-trippable experiment description); and
+  :class:`~repro.api.ResultSet`, the filterable result container.
+
 Quickstart::
 
-    from repro import (RescqScheduler, AutoBraidScheduler, SimulationConfig,
-                       compare_schedulers)
-    from repro.workloads import qft_circuit
+    from repro.api import ExperimentSpec, run_experiment
 
-    circuit = qft_circuit(8)
-    rows = compare_schedulers([AutoBraidScheduler(), RescqScheduler()], circuit,
-                              config=SimulationConfig(), seeds=3)
-    print({name: row.mean_cycles for name, row in rows.items()})
+    spec = ExperimentSpec(benchmarks=("qft_n18",),
+                          schedulers=("autobraid", "rescq"), seeds=3)
+    results = run_experiment(spec)
+    print({row["scheduler"]: row["mean_cycles"]
+           for row in results.aggregate("scheduler")})
 
-To fan the same comparison out over worker processes with an on-disk memo of
+To fan the same experiment out over worker processes with an on-disk memo of
 finished points::
 
-    from repro.exec import ExecutionEngine, ParallelExecutor, ResultCache
+    from repro.api import build_engine
 
-    engine = ExecutionEngine(executor=ParallelExecutor(max_workers=8),
-                             cache=ResultCache(".rescq-cache"))
-    rows = compare_schedulers(..., engine=engine)
+    engine = build_engine(jobs=8, cache=".rescq-cache")
+    results = run_experiment(spec, engine)
 """
 
 from .circuits import Circuit, Gate, GateType
@@ -59,11 +62,31 @@ from .exec import (
     SerialExecutor,
     SimJob,
 )
+from .api import (
+    ExperimentSpec,
+    Registry,
+    ResultSet,
+    build_engine,
+    run_experiment,
+)
 
-__version__ = "1.0.0"
+try:
+    from importlib.metadata import PackageNotFoundError as _PkgNotFound
+    from importlib.metadata import version as _pkg_version
+    try:
+        __version__ = _pkg_version("rescq-repro")
+    except _PkgNotFound:
+        __version__ = "1.1.0"
+except ImportError:  # pragma: no cover - importlib.metadata is 3.8+
+    __version__ = "1.1.0"
 
 __all__ = [
     "__version__",
+    "ExperimentSpec",
+    "Registry",
+    "ResultSet",
+    "build_engine",
+    "run_experiment",
     "Circuit",
     "Gate",
     "GateType",

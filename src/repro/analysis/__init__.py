@@ -12,12 +12,19 @@ from .export import (
     result_to_dict,
     results_from_json,
     results_to_json,
+    rows_to_csv,
     traces_to_csv,
 )
 from .fidelity import LogicalErrorModel, figure3_series, max_rotations
-from .report import format_histogram, format_normalised_summary, format_table
+from .report import (
+    format_comparison,
+    format_histogram,
+    format_normalised_summary,
+    format_table,
+)
 from .sweep import (
     SweepRow,
+    run_axis_sweep,
     sweep_compression,
     sweep_distance,
     sweep_error_rate,
@@ -35,13 +42,16 @@ __all__ = [
     "result_from_dict",
     "results_to_json",
     "results_from_json",
+    "rows_to_csv",
     "traces_to_csv",
     "figure3_series",
     "max_rotations",
     "format_table",
+    "format_comparison",
     "format_histogram",
     "format_normalised_summary",
     "SweepRow",
+    "run_axis_sweep",
     "sweep_distance",
     "sweep_error_rate",
     "sweep_mst_period",

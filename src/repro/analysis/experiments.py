@@ -18,12 +18,12 @@ from typing import Dict, Iterable, List, Optional, Sequence
 
 from ..circuits import Circuit
 from ..exec import ExecutionEngine, SimJob, plan_jobs
-from ..scheduling import AutoBraidScheduler, GreedyScheduler, RescqScheduler
+from ..scheduling import (DEFAULT_SCHEDULER_NAMES, SCHEDULER_REGISTRY,
+                          RescqScheduler)
 from ..sim import (
     SimulationConfig,
     SimulationResult,
     aggregate_comparison,
-    compare_schedulers,
     default_layout,
     geometric_mean,
 )
@@ -34,7 +34,8 @@ __all__ = ["default_schedulers", "ExecutionSummary", "run_execution_comparison",
 
 def default_schedulers(mst_period: int = 25):
     """The three schedulers the paper compares: greedy, AutoBraid, RESCQ."""
-    return [GreedyScheduler(), AutoBraidScheduler(), RescqScheduler()]
+    return [SCHEDULER_REGISTRY.create(name)
+            for name in DEFAULT_SCHEDULER_NAMES]
 
 
 @dataclass
@@ -134,7 +135,8 @@ def best_rescq_over_periods(circuits: Sequence[Circuit],
     config = config or SimulationConfig()
     engine = engine or ExecutionEngine()
     summary = ExecutionSummary(baseline=baseline)
-    baseline_schedulers = [GreedyScheduler(), AutoBraidScheduler()]
+    baseline_schedulers = [SCHEDULER_REGISTRY.create(name)
+                           for name in ("greedy", "autobraid")]
 
     # Plan the baselines plus every (circuit, period) RESCQ cell as one grid;
     # jobs are appended in plan order so results slice back positionally.

@@ -11,12 +11,36 @@ from __future__ import annotations
 import csv
 import io
 import json
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
 
 from ..sim.results import GateTrace, SimulationResult
 
 __all__ = ["result_to_dict", "result_from_dict", "results_to_json",
-           "results_from_json", "traces_to_csv"]
+           "results_from_json", "rows_to_csv", "traces_to_csv"]
+
+
+def rows_to_csv(rows: Sequence[Mapping[str, object]],
+                columns: Optional[Sequence[str]] = None) -> str:
+    """Serialise dict rows as CSV.
+
+    Columns default to the union of keys over all rows in first-appearance
+    order, so heterogenous rows (e.g. different grid axes) merge into one
+    table with blanks for missing cells.  This is the writer behind
+    :meth:`repro.api.resultset.ResultSet.to_csv`.
+    """
+    if columns is None:
+        seen: List[str] = []
+        for row in rows:
+            for key in row:
+                if key not in seen:
+                    seen.append(key)
+        columns = seen
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(list(columns))
+    for row in rows:
+        writer.writerow([row.get(column, "") for column in columns])
+    return buffer.getvalue()
 
 
 def result_to_dict(result: SimulationResult) -> Dict[str, object]:

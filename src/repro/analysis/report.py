@@ -9,7 +9,8 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence
 
-__all__ = ["format_table", "format_histogram", "format_normalised_summary"]
+__all__ = ["format_table", "format_comparison", "format_histogram",
+           "format_normalised_summary"]
 
 
 def format_table(rows: Sequence[Mapping[str, object]],
@@ -32,6 +33,26 @@ def format_table(rows: Sequence[Mapping[str, object]],
     for row in rendered_rows:
         lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(columns))))
     return "\n".join(lines) + "\n"
+
+
+def format_comparison(cells: Mapping[str, object],
+                      title: Optional[str] = None) -> str:
+    """Render scheduler comparison cells as the canonical ``rescq run`` table.
+
+    ``cells`` maps scheduler name to a
+    :class:`~repro.sim.runner.ComparisonRow` (as returned by
+    :meth:`~repro.api.resultset.ResultSet.comparison_rows`); the column set
+    and rounding here define the byte-exact table both the legacy ``run``
+    subcommand and spec-driven ``exp`` runs print.
+    """
+    rows = [{
+        "scheduler": name,
+        "mean_cycles": round(cell.mean_cycles, 1),
+        "min": cell.min_cycles,
+        "max": cell.max_cycles,
+        "idle_fraction": round(cell.mean_idle_fraction, 3),
+    } for name, cell in cells.items()]
+    return format_table(rows, title=title)
 
 
 def _fmt(value: object) -> str:

@@ -1,9 +1,10 @@
 """Parameter sweeps behind the sensitivity figures (Section 5.2, 5.3).
 
-Each sweep runs a set of schedulers on a set of benchmarks while varying one
-parameter (code distance, physical error rate, MST period, or grid
-compression), returning flat rows that the benchmark harnesses and examples
-print as the series of Figures 11-14.
+A sweep runs a set of schedulers on a set of benchmarks while varying one
+registered :class:`~repro.api.axes.SweepAxis` (code distance, physical error
+rate, MST period, or grid compression), returning flat :class:`SweepRow`
+records that the benchmark harnesses and examples print as the series of
+Figures 11-14.
 
 Sweeps are planned as one flat job list — every
 (circuit, value, scheduler, seed) point — and executed in a single
@@ -11,20 +12,25 @@ Sweeps are planned as one flat job list — every
 fans the *entire* grid out at once instead of parallelising one comparison
 cell at a time.  Row order is deterministic: circuits in input order, values
 in input order, schedulers by name.
+
+.. deprecated::
+    The per-axis ``sweep_*`` functions are shims kept for existing callers;
+    use :func:`run_axis_sweep` (axis objects), or — for registered
+    benchmarks — put the axis in an :class:`~repro.api.spec.ExperimentSpec`
+    grid and call :func:`repro.api.run_experiment`.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from ..circuits import Circuit
 from ..exec import ExecutionEngine, SimJob, plan_jobs
-from ..fabric import StarVariant, compress_layout, star_layout
-from ..sim import (SimulationConfig, aggregate_comparison, compare_schedulers,
-                   default_layout)
+from ..sim import SimulationConfig
 
-__all__ = ["SweepRow", "sweep_distance", "sweep_error_rate",
+__all__ = ["SweepRow", "run_axis_sweep", "sweep_distance", "sweep_error_rate",
            "sweep_mst_period", "sweep_compression"]
 
 
@@ -53,42 +59,51 @@ class SweepRow:
         }
 
 
-def _sweep(schedulers, circuits: Sequence[Circuit], parameter: str,
-           values: Sequence[float], config_for, layout_for,
-           seeds: int, engine: Optional[ExecutionEngine] = None
-           ) -> List[SweepRow]:
-    engine = engine or ExecutionEngine()
+def run_axis_sweep(axis, schedulers, circuits: Sequence[Circuit],
+                   values: Optional[Sequence[float]] = None,
+                   base: Optional[SimulationConfig] = None,
+                   seeds: int = 3,
+                   engine: Optional[ExecutionEngine] = None) -> List[SweepRow]:
+    """Sweep one :class:`~repro.api.axes.SweepAxis` over ``circuits``.
+
+    ``axis`` decides which config field (or layout property) each value
+    drives and how the layout is built per point; ``values`` defaults to the
+    axis's paper values and ``base`` to the headline configuration.  This is
+    the single engine behind the ``sweep_*`` shims, the benchmark harnesses
+    and the ``rescq sweep`` subcommand.
+    """
+    from ..api.resultset import ResultSet
+    if isinstance(axis, str):
+        from ..api.axes import get_axis
+        axis = get_axis(axis)
+    engine = engine if engine is not None else ExecutionEngine()
+    base = base or SimulationConfig()
+    swept = list(values if values is not None else axis.default_values)
     # Plan the whole grid up front ...
-    points: List[tuple] = []
     jobs: List[SimJob] = []
     for circuit in circuits:
-        for value in values:
-            config = config_for(value)
-            layout = layout_for(circuit, value)
-            point_jobs = plan_jobs(schedulers, circuit, config, layout, seeds)
-            points.append((circuit, value, point_jobs))
-            jobs.extend(point_jobs)
-    # ... execute it in one engine call (order-preserving) ...
+        for value in swept:
+            config = axis.config_for(base, value)
+            layout = axis.layout_for(circuit, value)
+            jobs.extend(plan_jobs(schedulers, circuit, config, layout, seeds,
+                                  tags={axis.parameter: value}))
+    # ... execute it in one engine call (order-preserving) and fold the
+    # tagged results back into rows.
     results = engine.run(jobs)
-    # ... and fold results back per point.
-    rows: List[SweepRow] = []
-    cursor = 0
-    for circuit, value, point_jobs in points:
-        chunk = results[cursor:cursor + len(point_jobs)]
-        cursor += len(point_jobs)
-        comparison = aggregate_comparison(point_jobs, chunk)
-        for name, cell in comparison.items():
-            rows.append(SweepRow(
-                benchmark=circuit.name,
-                scheduler=name,
-                parameter=parameter,
-                value=value,
-                mean_cycles=cell.mean_cycles,
-                min_cycles=cell.min_cycles,
-                max_cycles=cell.max_cycles,
-                idle_fraction=cell.mean_idle_fraction,
-            ))
-    return rows
+    return ResultSet.from_jobs(jobs, results).sweep_rows(axis.parameter)
+
+
+def _axis_shim(axis_name: str, shim_name: str, schedulers,
+               circuits: Sequence[Circuit], values, base: SimulationConfig,
+               seeds: int, engine: Optional[ExecutionEngine]) -> List[SweepRow]:
+    from ..api.axes import get_axis
+    warnings.warn(
+        f"{shim_name} is deprecated; use repro.analysis.run_axis_sweep"
+        f"(\"{axis_name}\", ...) or sweep {axis_name!r} in an "
+        f"ExperimentSpec grid via repro.api.run_experiment",
+        DeprecationWarning, stacklevel=3)
+    return run_axis_sweep(get_axis(axis_name), schedulers, circuits,
+                          values=values, base=base, seeds=seeds, engine=engine)
 
 
 def sweep_distance(schedulers, circuits: Sequence[Circuit],
@@ -97,14 +112,11 @@ def sweep_distance(schedulers, circuits: Sequence[Circuit],
                    mst_period: int = 25,
                    seeds: int = 3,
                    engine: Optional[ExecutionEngine] = None) -> List[SweepRow]:
-    """Figure 11: sensitivity to the code distance at fixed p."""
+    """Figure 11: sensitivity to the code distance at fixed p. (Deprecated shim.)"""
     base = SimulationConfig(physical_error_rate=physical_error_rate,
                             mst_period=mst_period)
-    return _sweep(
-        schedulers, circuits, "distance", list(distances),
-        config_for=lambda d: base.with_updates(distance=int(d)),
-        layout_for=lambda circuit, _value: default_layout(circuit),
-        seeds=seeds, engine=engine)
+    return _axis_shim("distance", "sweep_distance", schedulers, circuits,
+                      list(distances), base, seeds, engine)
 
 
 def sweep_error_rate(schedulers, circuits: Sequence[Circuit],
@@ -113,13 +125,10 @@ def sweep_error_rate(schedulers, circuits: Sequence[Circuit],
                      mst_period: int = 25,
                      seeds: int = 3,
                      engine: Optional[ExecutionEngine] = None) -> List[SweepRow]:
-    """Figure 12: sensitivity to the physical qubit error rate at fixed d."""
+    """Figure 12: sensitivity to the physical qubit error rate at fixed d. (Deprecated shim.)"""
     base = SimulationConfig(distance=distance, mst_period=mst_period)
-    return _sweep(
-        schedulers, circuits, "physical_error_rate", list(error_rates),
-        config_for=lambda p: base.with_updates(physical_error_rate=float(p)),
-        layout_for=lambda circuit, _value: default_layout(circuit),
-        seeds=seeds, engine=engine)
+    return _axis_shim("error-rate", "sweep_error_rate", schedulers, circuits,
+                      list(error_rates), base, seeds, engine)
 
 
 def sweep_mst_period(schedulers, circuits: Sequence[Circuit],
@@ -128,14 +137,11 @@ def sweep_mst_period(schedulers, circuits: Sequence[Circuit],
                      physical_error_rate: float = 1e-4,
                      seeds: int = 3,
                      engine: Optional[ExecutionEngine] = None) -> List[SweepRow]:
-    """Figure 13: RESCQ's sensitivity to the MST recomputation period k."""
+    """Figure 13: RESCQ's sensitivity to the MST recomputation period k. (Deprecated shim.)"""
     base = SimulationConfig(distance=distance,
                             physical_error_rate=physical_error_rate)
-    return _sweep(
-        schedulers, circuits, "mst_period", list(periods),
-        config_for=lambda k: base.with_updates(mst_period=int(k)),
-        layout_for=lambda circuit, _value: default_layout(circuit),
-        seeds=seeds, engine=engine)
+    return _axis_shim("mst-period", "sweep_mst_period", schedulers, circuits,
+                      list(periods), base, seeds, engine)
 
 
 def sweep_compression(schedulers, circuits: Sequence[Circuit],
@@ -145,19 +151,9 @@ def sweep_compression(schedulers, circuits: Sequence[Circuit],
                       mst_period: int = 25,
                       seeds: int = 3,
                       engine: Optional[ExecutionEngine] = None) -> List[SweepRow]:
-    """Figure 14: sensitivity to the ancilla availability (grid compression)."""
+    """Figure 14: sensitivity to the ancilla availability (grid compression). (Deprecated shim.)"""
     base = SimulationConfig(distance=distance,
                             physical_error_rate=physical_error_rate,
                             mst_period=mst_period)
-
-    def layout_for(circuit: Circuit, fraction: float):
-        layout = star_layout(circuit.num_qubits, StarVariant.STAR)
-        if fraction > 0:
-            layout, _report = compress_layout(layout, fraction, seed=13)
-        return layout
-
-    return _sweep(
-        schedulers, circuits, "compression", list(compressions),
-        config_for=lambda _value: base,
-        layout_for=layout_for,
-        seeds=seeds, engine=engine)
+    return _axis_shim("compression", "sweep_compression", schedulers, circuits,
+                      list(compressions), base, seeds, engine)

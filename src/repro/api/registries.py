@@ -1,0 +1,59 @@
+"""The concrete registries behind the declarative experiment API.
+
+One place that names every pluggable family:
+
+* :data:`SCHEDULERS` — scheduler factories (defined next to the scheduler
+  classes in :mod:`repro.scheduling`);
+* :data:`BENCHMARKS` — Table 3 workloads plus user registrations (defined in
+  :mod:`repro.workloads.registry`);
+* :data:`LAYOUTS` — named layout builders ``(circuit, compression, seed) ->
+  GridLayout``;
+* :data:`SWEEP_AXES` — the sensitivity axes of Figures 11-14 (defined in
+  :mod:`repro.api.axes`).
+
+Everything here resolves *names* (strings that appear in spec files and on
+the CLI) to *objects*; an :class:`~repro.api.spec.ExperimentSpec` is valid
+exactly when all of its names resolve.
+"""
+
+from __future__ import annotations
+
+from ..circuits import Circuit
+from ..fabric import GridLayout, StarVariant, compress_layout, star_layout
+from ..scheduling import DEFAULT_SCHEDULER_NAMES, SCHEDULER_REGISTRY
+from ..workloads.registry import BENCHMARK_REGISTRY
+from .axes import AXIS_REGISTRY
+from .registry import Registry
+
+__all__ = ["SCHEDULERS", "BENCHMARKS", "LAYOUTS", "SWEEP_AXES",
+           "DEFAULT_SCHEDULER_NAMES", "build_layout"]
+
+SCHEDULERS: Registry = SCHEDULER_REGISTRY
+BENCHMARKS: Registry = BENCHMARK_REGISTRY
+SWEEP_AXES: Registry = AXIS_REGISTRY
+
+#: Name -> layout builder ``(circuit, compression, seed) -> GridLayout``.
+LAYOUTS: Registry = Registry("layout")
+
+
+def _star_variant_builder(variant: StarVariant):
+    def build(circuit: Circuit, compression: float = 0.0,
+              seed: int = 0) -> GridLayout:
+        layout = star_layout(circuit.num_qubits, variant)
+        if compression > 0.0:
+            layout, _report = compress_layout(layout, compression, seed=seed)
+        return layout
+    build.__name__ = f"{variant.value}_layout"
+    build.__doc__ = (f"STAR {variant.value!r} grid for the circuit, "
+                     f"optionally compressed (Section 5.3).")
+    return build
+
+
+for _variant in StarVariant:
+    LAYOUTS.register(_variant.value, _star_variant_builder(_variant))
+
+
+def build_layout(name: str, circuit: Circuit, compression: float = 0.0,
+                 seed: int = 0) -> GridLayout:
+    """Build a registered layout by name for ``circuit``."""
+    return LAYOUTS.create(name, circuit, compression=compression, seed=seed)

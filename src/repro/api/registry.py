@@ -1,0 +1,140 @@
+"""A generic named-entry registry with decorator registration.
+
+Every pluggable family in the reproduction — schedulers, benchmarks, layouts,
+sweep axes — is a mapping from a short stable name to a factory or spec.
+:class:`Registry` is the one implementation behind all of them: entries are
+registered once (duplicates are an error, so two plugins cannot silently
+shadow each other), looked up by exact name with an actionable error listing
+the known names, and enumerated in sorted order so every listing is
+deterministic.
+
+This module is intentionally dependency-free (stdlib only): low-level
+packages such as :mod:`repro.scheduling` and :mod:`repro.workloads` import it
+to register their entries without pulling in the rest of :mod:`repro.api`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Generic, Iterator, List, Optional, Tuple, TypeVar
+
+__all__ = ["Registry", "RegistryError", "DuplicateEntryError",
+           "UnknownEntryError"]
+
+T = TypeVar("T")
+
+
+class RegistryError(Exception):
+    """Base class for registry failures."""
+
+
+class DuplicateEntryError(RegistryError, ValueError):
+    """A name was registered twice in the same registry."""
+
+
+class UnknownEntryError(RegistryError, KeyError):
+    """A name was looked up that no entry was registered under.
+
+    Subclasses :class:`KeyError` so callers that guarded the pre-registry
+    dict lookups (``except KeyError``) keep working.
+    """
+
+    def __init__(self, message: str) -> None:
+        super().__init__(message)
+        self.message = message
+
+    def __str__(self) -> str:  # KeyError quotes its arg; we want the message.
+        return self.message
+
+
+class Registry(Generic[T]):
+    """A named collection of entries of one kind.
+
+    Parameters
+    ----------
+    kind:
+        Human-readable singular noun for error messages, e.g. ``"scheduler"``.
+
+    Usage::
+
+        SCHEDULERS = Registry("scheduler")
+
+        @SCHEDULERS.register("rescq")
+        class RescqScheduler(Scheduler):
+            ...
+
+        SCHEDULERS.get("rescq")     # -> RescqScheduler
+        SCHEDULERS.names()          # -> sorted names
+        SCHEDULERS.create("rescq")  # -> RescqScheduler()
+    """
+
+    def __init__(self, kind: str) -> None:
+        self.kind = kind
+        self._entries: Dict[str, T] = {}
+
+    # -- registration ----------------------------------------------------------
+
+    def register(self, name: str, entry: Optional[T] = None):
+        """Register ``entry`` under ``name``.
+
+        With one argument acts as a decorator (``@registry.register("x")``);
+        with two it registers directly and returns the entry.  Registering a
+        name twice raises :class:`DuplicateEntryError`.
+        """
+        if not isinstance(name, str) or not name:
+            raise RegistryError(
+                f"{self.kind} registry names must be non-empty strings, "
+                f"got {name!r}")
+        if entry is not None:
+            return self._add(name, entry)
+
+        def decorator(obj: T) -> T:
+            return self._add(name, obj)
+        return decorator
+
+    def _add(self, name: str, entry: T) -> T:
+        if name in self._entries:
+            raise DuplicateEntryError(
+                f"duplicate {self.kind} name {name!r}: already registered as "
+                f"{self._entries[name]!r}")
+        self._entries[name] = entry
+        return entry
+
+    # -- lookup ----------------------------------------------------------------
+
+    def get(self, name: str) -> T:
+        """Return the entry registered under ``name``.
+
+        Raises :class:`UnknownEntryError` (a :class:`KeyError`) naming the
+        known entries when the name is missing.
+        """
+        try:
+            return self._entries[name]
+        except KeyError:
+            raise UnknownEntryError(
+                f"unknown {self.kind} {name!r}; known: {self.names()}"
+            ) from None
+
+    def create(self, name: str, *args, **kwargs):
+        """Call the entry registered under ``name`` (for factory registries)."""
+        factory = self.get(name)
+        return factory(*args, **kwargs)  # type: ignore[operator]
+
+    def names(self) -> List[str]:
+        """All registered names, sorted (deterministic listings)."""
+        return sorted(self._entries)
+
+    def items(self) -> List[Tuple[str, T]]:
+        """(name, entry) pairs sorted by name."""
+        return [(name, self._entries[name]) for name in self.names()]
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._entries
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.names())
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Registry({self.kind!r}, entries={self.names()})"

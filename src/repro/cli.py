@@ -4,20 +4,27 @@ Subcommands
 -----------
 
 ``list``
-    Print the Table 3 benchmark registry (paper vs generated gate counts).
+    Print the Table 3 benchmark registry (paper vs generated gate counts),
+    sorted by benchmark name.
 ``run``
     Execute one benchmark under one or more schedulers and print cycles.
 ``sweep``
-    Run one of the sensitivity sweeps (distance, error-rate, mst-period,
-    compression) on a benchmark.
+    Run one of the registered sensitivity sweeps (``rescq sweep --help``
+    lists the axes) on a benchmark.
+``exp``
+    Run a declarative experiment from a JSON
+    :class:`~repro.api.spec.ExperimentSpec` file, e.g.
+    ``rescq exp examples/headline.json``.
 ``prep``
     Print the Figure 16 preparation-statistics table.
 
-The ``run`` and ``sweep`` subcommands accept ``--jobs N`` (fan simulation
-jobs out over N worker processes) and ``--cache DIR`` (memoise finished jobs
-on disk so repeated invocations skip already-measured points).  Both print an
-``[exec]`` accounting line after the table; the table itself is byte-identical
-for every ``--jobs`` value.
+``run`` and ``sweep`` are thin spec builders: each constructs the equivalent
+:class:`~repro.api.spec.ExperimentSpec` and executes it through
+:func:`~repro.api.facade.run_experiment`, so their tables are byte-identical
+to running the same spec through ``exp``.  All three accept ``--jobs N`` (fan
+simulation jobs out over N worker processes) and ``--cache DIR`` (memoise
+finished jobs on disk); they print an ``[exec]`` accounting line after the
+table, and the table itself is byte-identical for every ``--jobs`` value.
 """
 
 from __future__ import annotations
@@ -26,43 +33,38 @@ import argparse
 import sys
 from typing import List, Optional, Sequence
 
-from .analysis import (
-    format_table,
-    run_execution_comparison,
-    sweep_compression,
-    sweep_distance,
-    sweep_error_rate,
-    sweep_mst_period,
-)
-from .analysis.report import format_normalised_summary
-from .exec import ExecutionEngine, ParallelExecutor, ResultCache, SerialExecutor
+from .analysis.report import format_table
+from .api.axes import AXIS_REGISTRY
+from .api.facade import build_engine, render_experiment, run_experiment
+from .api.registries import DEFAULT_SCHEDULER_NAMES, SCHEDULERS
+from .api.spec import ExperimentSpec, SpecValidationError
+from .exec import ExecutionEngine
 from .rus import PreparationModel
-from .scheduling import AutoBraidScheduler, GreedyScheduler, RescqScheduler
-from .sim import SimulationConfig, compare_schedulers
-from .workloads import get_benchmark, table3_rows
+from .workloads import table3_rows
 
 __all__ = ["main", "build_parser"]
 
-_SCHEDULERS = {
-    "greedy": GreedyScheduler,
-    "autobraid": AutoBraidScheduler,
-    "rescq": RescqScheduler,
-}
-
 
 def build_parser() -> argparse.ArgumentParser:
+    # repro.__version__ is resolved from the installed package metadata (with
+    # a source-tree fallback) at import time.
+    from . import __version__
     parser = argparse.ArgumentParser(
         prog="rescq",
         description="RESCQ reproduction: realtime scheduling for continuous-"
                     "angle QEC architectures")
+    parser.add_argument("--version", action="version",
+                        version=f"%(prog)s {__version__}")
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list", help="list the Table 3 benchmarks")
 
     run_parser = sub.add_parser("run", help="run one benchmark")
     run_parser.add_argument("benchmark", help="benchmark name, e.g. qft_n18")
-    run_parser.add_argument("--schedulers", default="greedy,autobraid,rescq",
-                            help="comma-separated scheduler names")
+    run_parser.add_argument("--schedulers",
+                            default=",".join(DEFAULT_SCHEDULER_NAMES),
+                            help="comma-separated scheduler names "
+                                 f"(registered: {', '.join(SCHEDULERS.names())})")
     run_parser.add_argument("--distance", type=int, default=7)
     run_parser.add_argument("--error-rate", type=float, default=1e-4)
     run_parser.add_argument("--mst-period", type=int, default=25)
@@ -71,11 +73,20 @@ def build_parser() -> argparse.ArgumentParser:
     _add_engine_arguments(run_parser)
 
     sweep_parser = sub.add_parser("sweep", help="run a sensitivity sweep")
-    sweep_parser.add_argument("kind", choices=["distance", "error-rate",
-                                               "mst-period", "compression"])
+    sweep_parser.add_argument("kind", choices=AXIS_REGISTRY.names(),
+                              help="registered sweep axis")
     sweep_parser.add_argument("benchmark", help="benchmark name, e.g. qft_n18")
     sweep_parser.add_argument("--seeds", type=int, default=2)
     _add_engine_arguments(sweep_parser)
+
+    exp_parser = sub.add_parser(
+        "exp", help="run a declarative experiment from a JSON spec file")
+    exp_parser.add_argument("spec", help="path to an ExperimentSpec JSON file")
+    exp_parser.add_argument("--csv", metavar="PATH", default=None,
+                            help="also write seed-level results as CSV")
+    exp_parser.add_argument("--json", metavar="PATH", default=None,
+                            help="also write seed-level results as JSON")
+    _add_engine_arguments(exp_parser)
 
     prep_parser = sub.add_parser("prep", help="Figure 16 preparation statistics")
     prep_parser.add_argument("--distances", default="5,7,9,11,13")
@@ -95,77 +106,92 @@ def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
 def _engine_from_args(args: argparse.Namespace) -> ExecutionEngine:
     if args.jobs < 1:
         raise SystemExit("--jobs must be >= 1")
-    executor = (ParallelExecutor(max_workers=args.jobs) if args.jobs > 1
-                else SerialExecutor())
-    cache = None
-    if args.cache:
-        try:
-            cache = ResultCache(args.cache)
-        except OSError as exc:
-            raise SystemExit(f"--cache {args.cache!r} is not a usable "
-                             f"directory: {exc}")
-    return ExecutionEngine(executor=executor, cache=cache)
+    try:
+        return build_engine(jobs=args.jobs, cache=args.cache)
+    except OSError as exc:
+        raise SystemExit(f"--cache {args.cache!r} is not a usable "
+                         f"directory: {exc}")
 
 
-def _schedulers_from_names(names: str) -> List:
+def _scheduler_names(names: str) -> List[str]:
     schedulers = []
     for name in names.split(","):
         name = name.strip().lower()
-        if name not in _SCHEDULERS:
+        if name not in SCHEDULERS:
             raise SystemExit(f"unknown scheduler {name!r}; "
-                             f"choose from {sorted(_SCHEDULERS)}")
-        schedulers.append(_SCHEDULERS[name]())
+                             f"choose from {SCHEDULERS.names()}")
+        schedulers.append(name)
     return schedulers
 
 
+def _run_spec(spec: ExperimentSpec, engine: ExecutionEngine):
+    try:
+        spec.validate()
+    except SpecValidationError as exc:
+        raise SystemExit(str(exc))
+    return run_experiment(spec, engine)
+
+
 def _command_list() -> int:
-    print(format_table(table3_rows(), title="Table 3 benchmarks"))
+    rows = sorted(table3_rows(), key=lambda row: str(row["name"]))
+    print(format_table(rows, title="Table 3 benchmarks"))
     return 0
 
 
 def _command_run(args: argparse.Namespace) -> int:
-    spec = get_benchmark(args.benchmark)
-    circuit = spec.build()
-    config = SimulationConfig(distance=args.distance,
-                              physical_error_rate=args.error_rate,
-                              mst_period=args.mst_period)
-    schedulers = _schedulers_from_names(args.schedulers)
+    spec = ExperimentSpec(
+        name=args.benchmark,
+        benchmarks=(args.benchmark,),
+        schedulers=tuple(_scheduler_names(args.schedulers)),
+        config={"distance": args.distance,
+                "physical_error_rate": args.error_rate,
+                "mst_period": args.mst_period},
+        seeds=args.seeds,
+        compression=args.compression,
+    )
     engine = _engine_from_args(args)
-    rows = compare_schedulers(schedulers, circuit, config=config,
-                              seeds=args.seeds, compression=args.compression,
-                              engine=engine)
-    table = [{
-        "scheduler": name,
-        "mean_cycles": round(cell.mean_cycles, 1),
-        "min": cell.min_cycles,
-        "max": cell.max_cycles,
-        "idle_fraction": round(cell.mean_idle_fraction, 3),
-    } for name, cell in rows.items()]
-    print(format_table(table, title=f"{spec.name} ({config.describe()})"))
+    results = _run_spec(spec, engine)
+    print(render_experiment(spec, results))
     print(engine.describe())
     return 0
 
 
 def _command_sweep(args: argparse.Namespace) -> int:
-    spec = get_benchmark(args.benchmark)
-    circuit = spec.build()
+    axis = AXIS_REGISTRY.get(args.kind)
+    spec = ExperimentSpec(
+        name=args.benchmark,
+        benchmarks=(args.benchmark,),
+        schedulers=axis.default_schedulers,
+        grid={axis.parameter: axis.default_values},
+        seeds=args.seeds,
+        layout_seed=axis.layout_seed,
+    )
     engine = _engine_from_args(args)
-    schedulers = [GreedyScheduler(), AutoBraidScheduler(), RescqScheduler()]
-    if args.kind == "distance":
-        rows = sweep_distance(schedulers, [circuit], seeds=args.seeds,
-                              engine=engine)
-    elif args.kind == "error-rate":
-        rows = sweep_error_rate(schedulers, [circuit], seeds=args.seeds,
-                                engine=engine)
-    elif args.kind == "mst-period":
-        rows = sweep_mst_period([RescqScheduler()], [circuit],
-                                seeds=args.seeds, engine=engine)
-    else:
-        rows = sweep_compression(schedulers, [circuit], seeds=args.seeds,
-                                 engine=engine)
+    results = _run_spec(spec, engine)
+    rows = results.sweep_rows(axis.parameter)
     print(format_table([row.as_dict() for row in rows],
-                       title=f"{args.kind} sweep for {spec.name}"))
+                       title=f"{args.kind} sweep for {args.benchmark}"))
     print(engine.describe())
+    return 0
+
+
+def _command_exp(args: argparse.Namespace) -> int:
+    try:
+        spec = ExperimentSpec.load(args.spec)
+    except OSError as exc:
+        raise SystemExit(f"cannot read spec {args.spec!r}: {exc}")
+    except SpecValidationError as exc:
+        raise SystemExit(f"invalid spec {args.spec!r}: {exc}")
+    engine = _engine_from_args(args)
+    results = _run_spec(spec, engine)
+    print(render_experiment(spec, results))
+    print(engine.describe())
+    if args.csv:
+        with open(args.csv, "w", encoding="utf-8") as handle:
+            handle.write(results.to_csv())
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            handle.write(results.to_json() + "\n")
     return 0
 
 
@@ -195,6 +221,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _command_run(args)
     if args.command == "sweep":
         return _command_sweep(args)
+    if args.command == "exp":
+        return _command_exp(args)
     if args.command == "prep":
         return _command_prep(args)
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover

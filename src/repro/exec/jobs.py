@@ -110,6 +110,13 @@ class SimJob:
     config: SimulationConfig
     layout: GridLayout
     seed: int
+    #: Free-form labels attached by the planner (e.g. the grid-point values a
+    #: spec expansion produced this job for).  Tags are carried alongside the
+    #: job but are *not* part of its identity: they are excluded from
+    #: comparison and from :meth:`fingerprint`, so tagging a job never
+    #: invalidates its cache entry.
+    tags: Dict[str, object] = field(default_factory=dict, repr=False,
+                                    compare=False)
     _fingerprint: Optional[str] = field(default=None, repr=False, compare=False)
 
     @property
@@ -140,18 +147,20 @@ class SimJob:
 
 def plan_jobs(schedulers: Sequence["Scheduler"], circuit: Circuit,
               config: SimulationConfig, layout: GridLayout,
-              seeds: Union[int, Sequence[int]]) -> List[SimJob]:
+              seeds: Union[int, Sequence[int]],
+              tags: Optional[Dict[str, object]] = None) -> List[SimJob]:
     """Expand one comparison point into its scheduler x seed job list.
 
     ``seeds`` follows the :func:`repro.sim.runner.run_schedule` convention:
     an integer means seeds ``0..n-1``, otherwise an explicit sequence.  Jobs
     are emitted scheduler-major with seeds ascending, which is the order every
-    executor preserves.
+    executor preserves.  ``tags`` (copied per job) label every emitted job,
+    e.g. with the grid-point values an experiment spec expanded.
     """
     if isinstance(seeds, int):
         seed_list: Sequence[int] = range(seeds)
     else:
         seed_list = seeds
     return [SimJob(circuit=circuit, scheduler=scheduler, config=config,
-                   layout=layout, seed=seed)
+                   layout=layout, seed=seed, tags=dict(tags or {}))
             for scheduler in schedulers for seed in seed_list]

@@ -6,14 +6,24 @@ Every entry point here plans its work as a list of
 a serial, uncached engine — bit-for-bit the behaviour of the original nested
 loops — while the CLI's ``--jobs``/``--cache`` flags and the benchmark
 harnesses inject parallel and memoised engines through the same parameter.
+
+.. deprecated::
+    :func:`run_schedule`, :func:`compare_schedulers` / :func:`run_comparison`
+    are kept as thin shims for existing callers; new code should describe
+    experiments declaratively with :class:`repro.api.ExperimentSpec` and
+    :func:`repro.api.run_experiment`, which return a filterable
+    :class:`~repro.api.resultset.ResultSet` instead of loose lists.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Union
+from typing import Dict, List, Optional, Sequence, Union
 
 from ..circuits import Circuit
+from ..exec.engine import ExecutionEngine
+from ..exec.jobs import SimJob, plan_jobs
 from ..fabric import GridLayout, StarVariant, compress_layout, star_layout
 from .config import SimulationConfig
 from .results import SimulationResult, aggregate_results, geometric_mean
@@ -27,7 +37,8 @@ def default_layout(circuit: Circuit, compression: float = 0.0,
     """The STAR grid the paper evaluates on, optionally compressed.
 
     One 2x2 STAR block per program qubit (Figure 1c); ``compression`` in
-    ``[0, 1]`` applies the Section 5.3 co-design sweep.
+    ``[0, 1]`` applies the Section 5.3 co-design sweep.  Equivalent to the
+    registered ``"star"`` layout builder (:data:`repro.api.LAYOUTS`).
     """
     layout = star_layout(circuit.num_qubits, StarVariant.STAR)
     if compression > 0.0:
@@ -35,10 +46,16 @@ def default_layout(circuit: Circuit, compression: float = 0.0,
     return layout
 
 
-def _resolve_engine(engine=None):
+def _resolve_engine(engine: Optional[ExecutionEngine]) -> ExecutionEngine:
     """Default to a serial, uncached engine (the deterministic reference)."""
-    from ..exec.engine import ExecutionEngine
     return engine if engine is not None else ExecutionEngine()
+
+
+def _deprecated(name: str, replacement: str) -> None:
+    warnings.warn(
+        f"{name} is deprecated; use {replacement} instead "
+        f"(see the 'Experiment API' section of the README)",
+        DeprecationWarning, stacklevel=3)
 
 
 def run_schedule(scheduler, circuit: Circuit,
@@ -46,8 +63,13 @@ def run_schedule(scheduler, circuit: Circuit,
                  layout: Optional[GridLayout] = None,
                  seeds: Union[int, Sequence[int]] = 1,
                  compression: float = 0.0,
-                 engine=None) -> List[SimulationResult]:
+                 engine: Optional[ExecutionEngine] = None
+                 ) -> List[SimulationResult]:
     """Run ``scheduler`` on ``circuit`` for one or more seeds.
+
+    .. deprecated:: use :func:`repro.api.run_experiment` with an
+       :class:`~repro.api.spec.ExperimentSpec`, or plan jobs explicitly with
+       :func:`repro.exec.plan_jobs` for unregistered circuits/layouts.
 
     Parameters
     ----------
@@ -65,7 +87,7 @@ def run_schedule(scheduler, circuit: Circuit,
         serial, uncached execution.  Results are returned in seed order no
         matter which executor backs the engine.
     """
-    from ..exec.jobs import plan_jobs
+    _deprecated("run_schedule", "repro.api.run_experiment (or repro.exec.plan_jobs)")
     config = config or SimulationConfig()
     layout = layout or default_layout(circuit, compression=compression)
     jobs = plan_jobs([scheduler], circuit, config, layout, seeds)
@@ -92,36 +114,19 @@ class ComparisonRow:
         return self.mean_cycles / reference.mean_cycles
 
 
-def aggregate_comparison(jobs, results: Sequence[SimulationResult]
+def aggregate_comparison(jobs: Sequence[SimJob],
+                         results: Sequence[SimulationResult]
                          ) -> Dict[str, ComparisonRow]:
     """Fold positionally-aligned ``(jobs, results)`` into comparison rows.
 
     Rows are keyed and ordered by scheduler name (ascending), and each row's
     ``results`` list is ordered by seed — deterministic regardless of the
-    executor that produced ``results``.
+    executor that produced ``results``.  This is a view over
+    :meth:`repro.api.resultset.ResultSet.comparison_rows`, the canonical
+    aggregation.
     """
-    per_scheduler: Dict[str, List[SimulationResult]] = {}
-    benchmarks: Dict[str, str] = {}
-    for job, result in zip(jobs, results):
-        per_scheduler.setdefault(job.scheduler_name, []).append(result)
-        benchmarks[job.scheduler_name] = job.benchmark
-    rows: Dict[str, ComparisonRow] = {}
-    for name in sorted(per_scheduler):
-        results_for = sorted(per_scheduler[name], key=lambda r: r.seed)
-        aggregate = aggregate_results(results_for)
-        idle = (sum(result.idle_fraction() for result in results_for)
-                / len(results_for)) if results_for else 0.0
-        rows[name] = ComparisonRow(
-            benchmark=benchmarks[name],
-            scheduler=name,
-            mean_cycles=aggregate["mean"],
-            min_cycles=aggregate["min"],
-            max_cycles=aggregate["max"],
-            mean_idle_fraction=idle,
-            runs=int(aggregate["runs"]),
-            results=results_for,
-        )
-    return rows
+    from ..api.resultset import ResultSet
+    return ResultSet.from_jobs(jobs, results).comparison_rows()
 
 
 def compare_schedulers(schedulers, circuit: Circuit,
@@ -129,23 +134,30 @@ def compare_schedulers(schedulers, circuit: Circuit,
                        layout: Optional[GridLayout] = None,
                        seeds: Union[int, Sequence[int]] = 3,
                        compression: float = 0.0,
-                       engine=None) -> Dict[str, ComparisonRow]:
+                       engine: Optional[ExecutionEngine] = None
+                       ) -> Dict[str, ComparisonRow]:
     """Run several schedulers on the same circuit/layout/seeds and aggregate.
+
+    .. deprecated:: use :func:`repro.api.run_experiment` with an
+       :class:`~repro.api.spec.ExperimentSpec` naming the schedulers, then
+       :meth:`~repro.api.resultset.ResultSet.comparison_rows`.
 
     The returned mapping is ordered by scheduler name (ascending) and each
     row's per-seed ``results`` are ordered by seed, so output is identical
     whether the underlying engine executes serially, in parallel, or from
     cache.
     """
-    from ..exec.jobs import plan_jobs
+    _deprecated("compare_schedulers", "repro.api.run_experiment")
+    from ..api.resultset import ResultSet
     config = config or SimulationConfig()
     layout = layout or default_layout(circuit, compression=compression)
     jobs = plan_jobs(schedulers, circuit, config, layout, seeds)
     results = _resolve_engine(engine).run(jobs)
-    return aggregate_comparison(jobs, results)
+    return ResultSet.from_jobs(jobs, results).comparison_rows()
 
 
 #: Documented alias for :func:`compare_schedulers`, kept for the examples and
 #: benchmarks written against the original artifact's naming.  Identical
-#: semantics, including the sorted-by-scheduler-name row ordering.
+#: semantics (and identical deprecation), including the
+#: sorted-by-scheduler-name row ordering.
 run_comparison = compare_schedulers

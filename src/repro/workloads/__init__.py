@@ -7,10 +7,12 @@ from .multiplier import multiplier_circuit, multiplier_width_for_qubits
 from .qft import qft_circuit
 from .qugan import qugan_circuit
 from .registry import (
+    BENCHMARK_REGISTRY,
     TABLE3,
     BenchmarkSpec,
     benchmark_names,
     get_benchmark,
+    register_benchmark,
     representative_benchmarks,
     table3_rows,
 )
@@ -24,9 +26,11 @@ from .wstate import wstate_circuit
 
 __all__ = [
     "BenchmarkSpec",
+    "BENCHMARK_REGISTRY",
     "TABLE3",
     "benchmark_names",
     "get_benchmark",
+    "register_benchmark",
     "representative_benchmarks",
     "table3_rows",
     "ising_circuit",

@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
+from ..api.registry import Registry
 from ..circuits import Circuit
 from .chemistry import gcm_circuit, vqe_circuit
 from .dnn import dnn_circuit
@@ -29,9 +30,11 @@ from .wstate import wstate_circuit
 
 __all__ = [
     "BenchmarkSpec",
+    "BENCHMARK_REGISTRY",
     "TABLE3",
     "benchmark_names",
     "get_benchmark",
+    "register_benchmark",
     "representative_benchmarks",
     "table3_rows",
 ]
@@ -111,7 +114,21 @@ TABLE3: Tuple[BenchmarkSpec, ...] = (
     _spec("VQE_n13", "supermarq", 13, 78, 12, lambda: vqe_circuit(13, layers=2)),
 )
 
-_BY_NAME: Dict[str, BenchmarkSpec] = {spec.name: spec for spec in TABLE3}
+#: Name -> :class:`BenchmarkSpec`.  Table 3 rows are pre-registered; user
+#: workloads join via :func:`register_benchmark` and are then addressable
+#: from :class:`~repro.api.spec.ExperimentSpec` files and the CLI.
+BENCHMARK_REGISTRY: Registry = Registry("benchmark")
+for _spec_entry in TABLE3:
+    BENCHMARK_REGISTRY.register(_spec_entry.name, _spec_entry)
+
+
+def register_benchmark(spec: BenchmarkSpec) -> BenchmarkSpec:
+    """Add a user-defined workload to the benchmark registry.
+
+    Raises :class:`~repro.api.registry.DuplicateEntryError` if the name
+    collides with a Table 3 row or a previously registered workload.
+    """
+    return BENCHMARK_REGISTRY.register(spec.name, spec)
 
 #: The three benchmarks the paper singles out for its sensitivity studies
 #: (Section 5.2): dnn_n16 (highest Rz:CNOT), gcm_n13 (~2:1) and qft_n160
@@ -121,17 +138,14 @@ REPRESENTATIVE = ("dnn_n16", "gcm_n13", "qft_n160")
 
 
 def benchmark_names(suite: Optional[str] = None) -> List[str]:
-    """List benchmark names, optionally filtered by suite."""
-    return [spec.name for spec in TABLE3
+    """List registered benchmark names (sorted), optionally filtered by suite."""
+    return [name for name, spec in BENCHMARK_REGISTRY.items()
             if suite is None or spec.suite == suite]
 
 
 def get_benchmark(name: str) -> BenchmarkSpec:
-    """Look up a Table 3 benchmark by name (raises ``KeyError`` if unknown)."""
-    if name not in _BY_NAME:
-        raise KeyError(
-            f"unknown benchmark {name!r}; known: {sorted(_BY_NAME)}")
-    return _BY_NAME[name]
+    """Look up a registered benchmark by name (raises ``KeyError`` if unknown)."""
+    return BENCHMARK_REGISTRY.get(name)
 
 
 def representative_benchmarks(fast: bool = False) -> List[BenchmarkSpec]:

@@ -1,0 +1,102 @@
+"""Back-compat: the legacy entry points still work and warn once deprecated.
+
+``run_schedule`` / ``compare_schedulers`` / ``run_comparison`` and the four
+``sweep_*`` functions are shims over the declarative API; they must emit
+``DeprecationWarning`` and return exactly what the new API returns so
+examples and external callers keep working unchanged.
+"""
+
+import warnings
+
+import pytest
+
+from repro.analysis import (
+    run_axis_sweep,
+    sweep_compression,
+    sweep_distance,
+    sweep_error_rate,
+    sweep_mst_period,
+)
+from repro.api import ExperimentSpec, run_experiment
+from repro.scheduling import AutoBraidScheduler, RescqScheduler
+from repro.sim import SimulationConfig, compare_schedulers, run_comparison, run_schedule
+from repro.workloads import get_benchmark
+from repro.workloads.qft import qft_circuit
+
+FAST = SimulationConfig(max_cycles=100_000)
+
+
+@pytest.fixture(scope="module")
+def circuit():
+    return qft_circuit(6)
+
+
+class TestDeprecationWarnings:
+    def test_run_schedule_warns(self, circuit):
+        with pytest.warns(DeprecationWarning, match="run_schedule"):
+            results = run_schedule(RescqScheduler(), circuit, config=FAST,
+                                   seeds=1)
+        assert len(results) == 1
+
+    def test_compare_schedulers_warns(self, circuit):
+        with pytest.warns(DeprecationWarning, match="compare_schedulers"):
+            rows = compare_schedulers([RescqScheduler()], circuit,
+                                      config=FAST, seeds=1)
+        assert "rescq" in rows
+
+    def test_run_comparison_alias_warns(self, circuit):
+        with pytest.warns(DeprecationWarning):
+            rows = run_comparison([RescqScheduler()], circuit, config=FAST,
+                                  seeds=1)
+        assert "rescq" in rows
+
+    @pytest.mark.parametrize("shim,kwargs", [
+        (sweep_distance, {"distances": (5,)}),
+        (sweep_error_rate, {"error_rates": (1e-4,)}),
+        (sweep_mst_period, {"periods": (25,)}),
+        (sweep_compression, {"compressions": (0.0,)}),
+    ])
+    def test_sweep_shims_warn(self, circuit, shim, kwargs):
+        with pytest.warns(DeprecationWarning, match=shim.__name__):
+            rows = shim([RescqScheduler()], [circuit], seeds=1, **kwargs)
+        assert len(rows) == 1
+        assert rows[0].scheduler == "rescq"
+
+    def test_run_axis_sweep_does_not_warn(self, circuit):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            rows = run_axis_sweep("mst-period", [RescqScheduler()], [circuit],
+                                  values=(25,), seeds=1)
+        assert len(rows) == 1
+
+
+class TestShimEquivalence:
+    def test_compare_schedulers_matches_run_experiment(self):
+        benchmark = "VQE_n13"
+        schedulers = [AutoBraidScheduler(), RescqScheduler()]
+        with pytest.warns(DeprecationWarning):
+            legacy = compare_schedulers(schedulers,
+                                        get_benchmark(benchmark).build(),
+                                        seeds=2)
+        spec = ExperimentSpec(benchmarks=(benchmark,),
+                              schedulers=("autobraid", "rescq"), seeds=2)
+        modern = run_experiment(spec).comparison_rows()
+        assert list(legacy) == list(modern)
+        for name in legacy:
+            assert legacy[name].mean_cycles == modern[name].mean_cycles
+            assert legacy[name].min_cycles == modern[name].min_cycles
+            assert legacy[name].max_cycles == modern[name].max_cycles
+            assert legacy[name].mean_idle_fraction == \
+                modern[name].mean_idle_fraction
+
+    def test_sweep_shim_matches_spec_grid(self):
+        benchmark = "VQE_n13"
+        with pytest.warns(DeprecationWarning):
+            legacy = sweep_mst_period([RescqScheduler()],
+                                      [get_benchmark(benchmark).build()],
+                                      periods=(25, 50), seeds=1)
+        spec = ExperimentSpec(benchmarks=(benchmark,), schedulers=("rescq",),
+                              grid={"mst_period": (25, 50)}, seeds=1)
+        modern = run_experiment(spec).sweep_rows("mst_period")
+        assert [row.as_dict() for row in legacy] == \
+               [row.as_dict() for row in modern]

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -20,6 +22,14 @@ class TestParser:
         args = build_parser().parse_args(["sweep", "mst-period", "qft_n18"])
         assert args.kind == "mst-period"
 
+    def test_version_reports_package_version(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["--version"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        assert out.startswith("rescq ")
+        assert out.strip().split()[-1][0].isdigit()
+
 
 class TestCommands:
     def test_list_prints_table3(self, capsys):
@@ -27,6 +37,12 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "qft_n160" in out
         assert "paper_rz" in out
+
+    def test_list_is_sorted_by_name(self, capsys):
+        assert main(["list"]) == 0
+        lines = capsys.readouterr().out.splitlines()
+        names = [line.split()[0] for line in lines[3:] if line.strip()]
+        assert names == sorted(names)
 
     def test_prep_prints_figure16_table(self, capsys):
         assert main(["prep", "--distances", "5,7", "--error-rates", "1e-3"]) == 0
@@ -47,5 +63,85 @@ class TestCommands:
             main(["run", "VQE_n13", "--schedulers", "magic"])
 
     def test_run_rejects_unknown_benchmark(self):
-        with pytest.raises(KeyError):
+        with pytest.raises(SystemExit) as excinfo:
             main(["run", "not_a_benchmark"])
+        assert "not_a_benchmark" in str(excinfo.value)
+
+
+class TestExpCommand:
+    def spec_payload(self):
+        return {
+            "name": "cli-exp-test",
+            "benchmarks": ["VQE_n13"],
+            "schedulers": ["autobraid", "rescq"],
+            "seeds": 1,
+        }
+
+    def write_spec(self, tmp_path, payload):
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(payload))
+        return str(path)
+
+    def test_exp_runs_spec_file(self, tmp_path, capsys):
+        assert main(["exp", self.write_spec(tmp_path, self.spec_payload())]) == 0
+        out = capsys.readouterr().out
+        assert "rescq" in out and "autobraid" in out
+        assert "[exec] jobs=2 executed=2" in out
+
+    def test_exp_matches_equivalent_run_byte_for_byte(self, tmp_path, capsys):
+        payload = self.spec_payload()
+        payload["name"] = "VQE_n13"
+        assert main(["exp", self.write_spec(tmp_path, payload)]) == 0
+        exp_out = capsys.readouterr().out
+        assert main(["run", "VQE_n13", "--schedulers", "autobraid,rescq",
+                     "--seeds", "1"]) == 0
+        run_out = capsys.readouterr().out
+        assert exp_out == run_out
+
+    def test_exp_writes_csv_and_json(self, tmp_path, capsys):
+        spec = self.write_spec(tmp_path, self.spec_payload())
+        csv_path = tmp_path / "rows.csv"
+        json_path = tmp_path / "rows.json"
+        assert main(["exp", spec, "--csv", str(csv_path),
+                     "--json", str(json_path)]) == 0
+        capsys.readouterr()
+        header = csv_path.read_text().splitlines()[0]
+        assert header.startswith("benchmark,scheduler,seed")
+        rows = json.loads(json_path.read_text())
+        assert len(rows) == 2
+        assert {row["scheduler"] for row in rows} == {"autobraid", "rescq"}
+
+    def test_exp_cached_rerun_executes_zero_jobs(self, tmp_path, capsys):
+        spec = self.write_spec(tmp_path, self.spec_payload())
+        cache = str(tmp_path / "cache")
+        assert main(["exp", spec, "--cache", cache]) == 0
+        first = capsys.readouterr().out
+        assert main(["exp", spec, "--cache", cache]) == 0
+        second = capsys.readouterr().out
+        assert "executed=0" in second
+
+        def table(text):
+            return [line for line in text.splitlines()
+                    if not line.startswith("[exec]")]
+        assert table(first) == table(second)
+
+    def test_exp_missing_file_errors(self, tmp_path):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["exp", str(tmp_path / "nope.json")])
+        assert "cannot read spec" in str(excinfo.value)
+
+    def test_exp_invalid_spec_errors(self, tmp_path):
+        payload = self.spec_payload()
+        payload["schedulers"] = ["warp-drive"]
+        with pytest.raises(SystemExit) as excinfo:
+            main(["exp", self.write_spec(tmp_path, payload)])
+        assert "warp-drive" in str(excinfo.value)
+
+    def test_exp_sweep_spec_prints_sweep_table(self, tmp_path, capsys):
+        payload = self.spec_payload()
+        payload["grid"] = {"mst_period": [25, 50]}
+        payload["schedulers"] = ["rescq"]
+        assert main(["exp", self.write_spec(tmp_path, payload)]) == 0
+        out = capsys.readouterr().out
+        assert "mst-period sweep for VQE_n13" in out
+        assert "mst_period" in out
