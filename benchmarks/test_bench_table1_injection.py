@@ -18,6 +18,25 @@ def table1_rows():
     return rows
 
 
+def test_bench_table1_monte_carlo_agreement():
+    """Equation 1 cross-check: vectorised RUS-chain sampling vs the analytic
+    expectation, for a generic angle and for the Clifford-truncated T gate."""
+    import math
+
+    import numpy as np
+
+    rng = np.random.default_rng(0)
+    model = InjectionModel()
+    generic = model.sample_injection_counts(rng, 200_000)
+    assert abs(generic.mean() - model.expected_injection_count()) < 0.02
+    t_gate = model.sample_injection_counts(rng, 200_000, theta=math.pi / 4)
+    expected_t = model.expected_injection_count(theta=math.pi / 4)
+    assert abs(t_gate.mean() - expected_t) < 0.02
+    print(f"\nMonte-Carlo E[injections]: generic {generic.mean():.4f} "
+          f"(analytic {model.expected_injection_count():.4f}), "
+          f"T gate {t_gate.mean():.4f} (analytic {expected_t:.4f})")
+
+
 def test_bench_table1_injection_strategies(benchmark):
     rows = benchmark(table1_rows)
     print()

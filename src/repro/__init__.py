@@ -8,9 +8,14 @@ whole stack the paper's evaluation rests on:
 * :mod:`repro.workloads` — the Table 3 benchmark generators;
 * :mod:`repro.fabric` — STAR tile layouts and grid compression;
 * :mod:`repro.lattice` — lattice-surgery costs, edge orientation, routing;
-* :mod:`repro.rus` — |m_theta> preparation/injection statistics and the
-  Clifford+T comparison;
-* :mod:`repro.scheduling` — RESCQ plus the greedy and AutoBraid baselines;
+* :mod:`repro.rus` — |m_theta> preparation/injection statistics (with
+  vectorised, stream-equivalent batch sampling) and the Clifford+T
+  comparison;
+* :mod:`repro.kernel` — the shared simulation kernel: clock + event queue,
+  fabric occupancy state, gate lifecycle, profiler, and the two drive loops
+  (event-driven and layer-synchronous) policies plug into;
+* :mod:`repro.scheduling` — the policies: RESCQ plus the greedy and
+  AutoBraid baselines;
 * :mod:`repro.sim` — the seeded cycle-level symbolic-execution simulator;
 * :mod:`repro.exec` — the job-based execution engine: every sweep/comparison
   is planned as explicit :class:`~repro.exec.SimJob` records and run through

@@ -43,9 +43,15 @@ def rows_to_csv(rows: Sequence[Mapping[str, object]],
     return buffer.getvalue()
 
 
-def result_to_dict(result: SimulationResult) -> Dict[str, object]:
-    """Convert a result into plain JSON-serialisable data."""
-    return {
+def result_to_dict(result: SimulationResult,
+                   include_profile: bool = False) -> Dict[str, object]:
+    """Convert a result into plain JSON-serialisable data.
+
+    The per-run profile (wall-time and phase counters) is observability, not
+    simulation output: it is excluded unless ``include_profile`` is set, so
+    serialised results stay byte-stable across machines and cache hits.
+    """
+    payload: Dict[str, object] = {
         "benchmark": result.benchmark,
         "scheduler": result.scheduler,
         "seed": result.seed,
@@ -54,7 +60,10 @@ def result_to_dict(result: SimulationResult) -> Dict[str, object]:
         "config_summary": result.config_summary,
         "metadata": dict(result.metadata),
         "data_busy_cycles": {str(k): v for k, v in result.data_busy_cycles.items()},
-        "traces": [{
+    }
+    if include_profile and result.profile:
+        payload["profile"] = dict(result.profile)
+    payload["traces"] = [{
             "gate_index": trace.gate_index,
             "kind": trace.kind,
             "qubits": list(trace.qubits),
@@ -64,8 +73,8 @@ def result_to_dict(result: SimulationResult) -> Dict[str, object]:
             "injections": trace.injections,
             "preparation_attempts": trace.preparation_attempts,
             "edge_rotations": trace.edge_rotations,
-        } for trace in result.traces],
-    }
+        } for trace in result.traces]
+    return payload
 
 
 def result_from_dict(payload: Dict[str, object]) -> SimulationResult:
@@ -92,6 +101,7 @@ def result_from_dict(payload: Dict[str, object]) -> SimulationResult:
                           payload.get("data_busy_cycles", {}).items()},
         config_summary=payload.get("config_summary", ""),
         metadata=dict(payload.get("metadata", {})),
+        profile=dict(payload.get("profile", {})),
     )
 
 

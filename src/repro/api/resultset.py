@@ -281,6 +281,44 @@ class ResultSet:
                 table.append(row)
         return table
 
+    def profile_rows(self) -> List[Dict[str, object]]:
+        """Aggregated kernel-profile counters per (benchmark, scheduler).
+
+        Wall-time counters (``wall_*_s``) and per-phase cycle/event counters
+        are summed over seeds; rows appear in first-appearance order.  Rows
+        whose results carry no profile (the run's config did not set
+        ``profile_enabled``, or the result came from a cache hit) are
+        skipped.
+        """
+        table: List[Dict[str, object]] = []
+        for (benchmark, scheduler), group in self.group_by(
+                "benchmark", "scheduler").items():
+            totals: Dict[str, float] = {}
+            profiled_runs = 0
+            for row in group.rows:
+                if row.result is None or not row.result.profile:
+                    continue
+                profiled_runs += 1
+                for key, value in row.result.profile.items():
+                    totals[key] = totals.get(key, 0.0) + value
+            if not profiled_runs:
+                continue
+            summary: Dict[str, object] = {"benchmark": benchmark,
+                                          "scheduler": scheduler,
+                                          "runs": profiled_runs}
+            for key in sorted(totals):
+                value = totals[key]
+                summary[key] = round(value, 6) if key.startswith("wall_") else value
+            table.append(summary)
+        # Same column set and order everywhere (policies emit different
+        # counters; a table renderer keyed on the first row must see them all).
+        counter_keys = sorted({key for row in table for key in row
+                               if key not in ("benchmark", "scheduler", "runs")})
+        return [{"benchmark": row["benchmark"], "scheduler": row["scheduler"],
+                 "runs": row["runs"],
+                 **{key: row.get(key, 0.0) for key in counter_keys}}
+                for row in table]
+
     # -- export ----------------------------------------------------------------
 
     def summary_rows(self) -> List[Dict[str, object]]:

@@ -70,6 +70,10 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--mst-period", type=int, default=25)
     run_parser.add_argument("--compression", type=float, default=0.0)
     run_parser.add_argument("--seeds", type=int, default=3)
+    run_parser.add_argument("--profile", action="store_true",
+                            help="collect and print per-phase kernel "
+                                 "counters (simulated cycles per phase, "
+                                 "routing/MST wall time)")
     _add_engine_arguments(run_parser)
 
     sweep_parser = sub.add_parser("sweep", help="run a sensitivity sweep")
@@ -139,19 +143,30 @@ def _command_list() -> int:
 
 
 def _command_run(args: argparse.Namespace) -> int:
+    config = {"distance": args.distance,
+              "physical_error_rate": args.error_rate,
+              "mst_period": args.mst_period}
+    if args.profile:
+        config["profile_enabled"] = True
     spec = ExperimentSpec(
         name=args.benchmark,
         benchmarks=(args.benchmark,),
         schedulers=tuple(_scheduler_names(args.schedulers)),
-        config={"distance": args.distance,
-                "physical_error_rate": args.error_rate,
-                "mst_period": args.mst_period},
+        config=config,
         seeds=args.seeds,
         compression=args.compression,
     )
     engine = _engine_from_args(args)
     results = _run_spec(spec, engine)
     print(render_experiment(spec, results))
+    if args.profile:
+        rows = results.profile_rows()
+        if rows:
+            print()
+            print(format_table(rows, title="kernel profile (summed over seeds)"))
+        else:
+            print("[profile] no profiled results (cache hits carry no "
+                  "profile; rerun without --cache)")
     print(engine.describe())
     return 0
 

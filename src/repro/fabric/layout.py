@@ -56,6 +56,18 @@ class GridLayout:
         for qubit, position in self._data_positions.items():
             self._tiles[position] = Tile(position, TileType.DATA, data_index=qubit)
 
+        #: Monotonic counter bumped on every disable/enable; routing caches
+        #: key their validity on it.
+        self._version = 0
+        #: Recent mutations as (version, position, enabled) records so caches
+        #: can invalidate by delta; bounded, oldest dropped (a consumer whose
+        #: last-seen version fell off the log must do a full invalidation).
+        self._change_log: List[Tuple[int, Position, bool]] = []
+        self._neighbors: Dict[Position, List[Position]] = {}
+        self._ancilla_neighbors: Dict[Position, List[Position]] = {}
+        self._ancilla_positions: List[Position] = []
+        self._rebuild_adjacency()
+
     # -- basic queries -----------------------------------------------------------
 
     @property
@@ -98,8 +110,7 @@ class GridLayout:
         return None
 
     def ancilla_positions(self) -> List[Position]:
-        return [pos for pos, tile in sorted(self._tiles.items())
-                if tile.is_ancilla]
+        return list(self._ancilla_positions)
 
     def positions(self) -> Iterator[Position]:
         return iter(sorted(self._tiles))
@@ -115,9 +126,18 @@ class GridLayout:
         return self.num_ancilla / len(self._data_positions)
 
     # -- adjacency ---------------------------------------------------------------
+    #
+    # Neighbour lists are precomputed once at construction and maintained by
+    # delta on disable/enable, so the routing inner loops never rebuild them.
+    # The cached lists are shared (not copied) on return: callers must treat
+    # them as read-only.
 
-    def neighbors(self, position: Position) -> List[Position]:
-        """In-bounds, non-disabled neighbours of ``position``."""
+    @property
+    def version(self) -> int:
+        """Bumped on every disable/enable; caches key their validity on it."""
+        return self._version
+
+    def _raw_neighbors(self, position: Position) -> List[Position]:
         result = []
         for edge in Edge:
             neighbor = edge.neighbor(position)
@@ -125,8 +145,60 @@ class GridLayout:
                 result.append(neighbor)
         return result
 
+    def _rebuild_adjacency(self) -> None:
+        self._neighbors = {}
+        self._ancilla_neighbors = {}
+        for position, tile in self._tiles.items():
+            self._refresh_adjacency_entry(position)
+        self._ancilla_positions = [pos for pos, tile in sorted(self._tiles.items())
+                                   if tile.is_ancilla]
+
+    def _refresh_adjacency_entry(self, position: Position) -> None:
+        neighbors = self._raw_neighbors(position)
+        self._neighbors[position] = neighbors
+        self._ancilla_neighbors[position] = [pos for pos in neighbors
+                                             if self._tiles[pos].is_ancilla]
+
+    _CHANGE_LOG_LIMIT = 4096
+
+    def _on_tile_changed(self, position: Position, enabled: bool) -> None:
+        """Delta-refresh adjacency after ``position`` changed type."""
+        self._version += 1
+        self._change_log.append((self._version, position, enabled))
+        if len(self._change_log) > self._CHANGE_LOG_LIMIT:
+            del self._change_log[:len(self._change_log) // 2]
+        self._refresh_adjacency_entry(position)
+        for edge in Edge:
+            neighbor = edge.neighbor(position)
+            if neighbor in self._tiles:
+                self._refresh_adjacency_entry(neighbor)
+        self._ancilla_positions = [pos for pos, tile in sorted(self._tiles.items())
+                                   if tile.is_ancilla]
+
+    def changes_since(self, version: int) -> Optional[List[Tuple[int, "Position", bool]]]:
+        """Mutations after ``version``, oldest first.
+
+        Returns ``None`` when the requested range has been dropped from the
+        bounded change log (the caller must then invalidate everything).
+        """
+        if version >= self._version:
+            return []
+        if not self._change_log or self._change_log[0][0] > version + 1:
+            return None
+        return [entry for entry in self._change_log if entry[0] > version]
+
+    def neighbors(self, position: Position) -> List[Position]:
+        """In-bounds, non-disabled neighbours of ``position`` (read-only)."""
+        cached = self._neighbors.get(position)
+        if cached is not None:
+            return cached
+        return self._raw_neighbors(position)
+
     def ancilla_neighbors(self, position: Position) -> List[Position]:
-        """Neighbouring ANCILLA tiles of ``position``."""
+        """Neighbouring ANCILLA tiles of ``position`` (read-only)."""
+        cached = self._ancilla_neighbors.get(position)
+        if cached is not None:
+            return cached
         return [pos for pos in self.neighbors(position) if self.is_ancilla(pos)]
 
     def ancilla_neighbors_of_qubit(self, qubit: int) -> List[Position]:
@@ -143,6 +215,7 @@ class GridLayout:
         if tile.is_data:
             raise ValueError(f"cannot disable data tile at {position}")
         self._tiles[position] = Tile(position, TileType.DISABLED)
+        self._on_tile_changed(position, enabled=False)
 
     def enable_ancilla(self, position: Position) -> None:
         """Re-enable a previously disabled position as an ancilla tile."""
@@ -150,6 +223,7 @@ class GridLayout:
         if tile.is_data:
             raise ValueError(f"{position} holds a data qubit")
         self._tiles[position] = Tile(position, TileType.ANCILLA)
+        self._on_tile_changed(position, enabled=True)
 
     # -- connectivity ------------------------------------------------------------
 
@@ -184,6 +258,13 @@ class GridLayout:
                    for pos in self._data_positions.values())
 
     # -- misc --------------------------------------------------------------------
+
+    def __getstate__(self) -> Dict[str, object]:
+        # The shared RoutingIndex (attached by RoutingIndex.for_layout) is a
+        # per-process cache; keep it out of pickles shipped to workers.
+        state = self.__dict__.copy()
+        state.pop("_routing_index", None)
+        return state
 
     def copy(self) -> "GridLayout":
         clone = GridLayout(self.rows, self.cols, self._data_positions,

@@ -1,0 +1,83 @@
+"""Lightweight per-phase instrumentation threaded through the kernel.
+
+A :class:`KernelProfile` accumulates two kinds of counters for one run:
+
+* **simulated-cycle counters** (``sim_*``) — how many lattice-surgery cycles
+  of hardware work each phase scheduled (preparation, injection, CNOT
+  merges, Hadamards, edge rotations);
+* **wall-time counters** (``wall_*_s``) — real seconds spent in the
+  classical-controller phases worth watching (routing queries, MST builds,
+  and the whole run), measured with :func:`time.perf_counter`;
+* **event counters** — scheduling passes, processed events, routing queries
+  and routing-plan cache hits.
+
+Profiles are cheap (a few thousand float additions per run) but still
+opt-in: schedulers build one only when
+:attr:`~repro.sim.config.SimulationConfig.profile_enabled` is set, and the
+flattened dict lands in :attr:`~repro.sim.results.SimulationResult.profile`
+(rendered by ``rescq run --profile``).
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager, nullcontext
+from typing import ContextManager, Dict, Iterator, Optional
+
+__all__ = ["KernelProfile", "profile_timer"]
+
+#: Reusable no-op context (nullcontext is stateless, safe to share).
+_NULL_CONTEXT = nullcontext()
+
+
+def profile_timer(profile: Optional["KernelProfile"],
+                  phase: str) -> ContextManager[None]:
+    """``profile.timer(phase)`` or a shared no-op when profiling is off.
+
+    Lets call sites write one ``with profile_timer(self.profile, "x"):``
+    around the real call instead of duplicating it in an if/else — the
+    profiled and unprofiled paths must execute identical work.
+    """
+    if profile is None:
+        return _NULL_CONTEXT
+    return profile.timer(phase)
+
+
+class KernelProfile:
+    """Per-phase cycle and wall-time counters for one simulation run."""
+
+    __slots__ = ("wall", "counters")
+
+    def __init__(self) -> None:
+        #: phase -> accumulated wall seconds.
+        self.wall: Dict[str, float] = {}
+        #: counter name -> accumulated value (simulated cycles or counts).
+        self.counters: Dict[str, float] = {}
+
+    def add(self, counter: str, amount: float = 1.0) -> None:
+        self.counters[counter] = self.counters.get(counter, 0.0) + amount
+
+    def add_wall(self, phase: str, seconds: float) -> None:
+        self.wall[phase] = self.wall.get(phase, 0.0) + seconds
+
+    @contextmanager
+    def timer(self, phase: str) -> Iterator[None]:
+        """Accumulate the wall time of the enclosed block under ``phase``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.add_wall(phase, time.perf_counter() - start)
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flatten to the ``SimulationResult.profile`` mapping.
+
+        Wall phases appear as ``wall_<phase>_s`` (rounded to microseconds),
+        counters under their own names.
+        """
+        flat: Dict[str, float] = {}
+        for phase in sorted(self.wall):
+            flat[f"wall_{phase}_s"] = round(self.wall[phase], 6)
+        for name in sorted(self.counters):
+            flat[name] = self.counters[name]
+        return flat

@@ -4,6 +4,7 @@ from .operations import DEFAULT_COSTS, LatticeSurgeryCosts
 from .orientation import OrientationTracker
 from .routing import (
     RoutePlan,
+    RoutingIndex,
     bfs_ancilla_path,
     enumerate_cnot_plans,
     find_shortest_cnot_plan,
@@ -14,6 +15,7 @@ __all__ = [
     "DEFAULT_COSTS",
     "OrientationTracker",
     "RoutePlan",
+    "RoutingIndex",
     "bfs_ancilla_path",
     "enumerate_cnot_plans",
     "find_shortest_cnot_plan",

@@ -18,8 +18,8 @@ from ..fabric import Edge, GridLayout, Position
 from .operations import DEFAULT_COSTS, LatticeSurgeryCosts
 from .orientation import OrientationTracker
 
-__all__ = ["RoutePlan", "bfs_ancilla_path", "enumerate_cnot_plans",
-           "find_shortest_cnot_plan"]
+__all__ = ["RoutePlan", "RoutingIndex", "bfs_ancilla_path",
+           "enumerate_cnot_plans", "find_shortest_cnot_plan"]
 
 
 @dataclass(frozen=True)
@@ -142,6 +142,43 @@ def _attachment_candidates(layout: GridLayout, orientation: OrientationTracker,
     return candidates
 
 
+def _plans_from_candidates(control: int, target: int,
+                           control_candidates: Sequence[Tuple[Position, bool]],
+                           target_candidates: Sequence[Tuple[Position, bool]],
+                           blocked: Set[Position],
+                           path_finder: Callable[[Position, Position],
+                                                 Optional[List[Position]]]
+                           ) -> List[RoutePlan]:
+    """Build the plan list for every routable attachment pair.
+
+    The one plan-construction loop shared by the cached
+    (:class:`RoutingIndex`) and uncached (:func:`enumerate_cnot_plans`)
+    enumeration paths — keep them from drifting apart.
+    """
+    plans: List[RoutePlan] = []
+    for control_attach, control_rotation in control_candidates:
+        if control_attach in blocked:
+            continue
+        for target_attach, target_rotation in target_candidates:
+            if target_attach in blocked:
+                continue
+            path = path_finder(control_attach, target_attach)
+            if path is None:
+                continue
+            plans.append(RoutePlan(
+                control=control,
+                target=target,
+                path=tuple(path),
+                control_rotation=control_rotation,
+                target_rotation=target_rotation,
+                rotation_ancilla_control=(control_attach
+                                          if control_rotation else None),
+                rotation_ancilla_target=(target_attach
+                                         if target_rotation else None),
+            ))
+    return plans
+
+
 def enumerate_cnot_plans(layout: GridLayout, orientation: OrientationTracker,
                          control: int, target: int,
                          blocked: Optional[Set[Position]] = None,
@@ -159,30 +196,159 @@ def enumerate_cnot_plans(layout: GridLayout, orientation: OrientationTracker,
         def path_finder(a: Position, b: Position) -> Optional[List[Position]]:
             return bfs_ancilla_path(layout, a, b, blocked)
 
-    plans: List[RoutePlan] = []
-    control_candidates = _attachment_candidates(layout, orientation, control, "Z")
-    target_candidates = _attachment_candidates(layout, orientation, target, "X")
-    for control_attach, control_rotation in control_candidates:
-        if control_attach in blocked:
-            continue
-        for target_attach, target_rotation in target_candidates:
-            if target_attach in blocked:
-                continue
-            path = path_finder(control_attach, target_attach)
-            if path is None:
-                continue
-            rotation_anc_c = control_attach if control_rotation else None
-            rotation_anc_t = target_attach if target_rotation else None
-            plans.append(RoutePlan(
-                control=control,
-                target=target,
-                path=tuple(path),
-                control_rotation=control_rotation,
-                target_rotation=target_rotation,
-                rotation_ancilla_control=rotation_anc_c,
-                rotation_ancilla_target=rotation_anc_t,
-            ))
-    return plans
+    return _plans_from_candidates(
+        control, target,
+        _attachment_candidates(layout, orientation, control, "Z"),
+        _attachment_candidates(layout, orientation, target, "X"),
+        blocked, path_finder)
+
+
+class RoutingIndex:
+    """Incremental routing over one layout: precomputed adjacency, memoised
+    plan enumeration, delta invalidation.
+
+    The index answers the same queries as :func:`bfs_ancilla_path` and
+    :func:`enumerate_cnot_plans` but caches everything that is a pure function
+    of the (static) layout and the qubits' edge orientations:
+
+    * **attachment candidates** keyed on ``(qubit, pauli, flipped)``;
+    * **BFS ancilla paths** keyed on ``(start, goal)`` (unblocked queries);
+    * **full plan enumerations** keyed on
+      ``(control, target, flipped_c, flipped_t)``.
+
+    Layout mutations (grid compression's disable/enable) are picked up
+    through :meth:`GridLayout.changes_since`: a *disable* prunes exactly the
+    cached paths, plans and attachments that touch the removed tile — every
+    surviving path is still a shortest path, because removing a tile can only
+    remove paths — while an *enable* (which can create strictly better
+    routes) or a truncated change log invalidates the whole index.
+
+    Queries that carry a transient ``blocked`` set or an external
+    ``path_finder`` (RESCQ's MST tree paths) are answered without touching
+    the plan cache, but still reuse the cached attachment candidates.
+
+    One index is typically shared per layout via :meth:`for_layout`, so
+    repeated runs (seed sweeps) reuse each other's routing work.
+    """
+
+    def __init__(self, layout: GridLayout) -> None:
+        self.layout = layout
+        self._version = layout.version
+        #: (start, goal) -> shortest ancilla path (or None when unreachable).
+        self._paths: Dict[Tuple[Position, Position],
+                          Optional[List[Position]]] = {}
+        #: (qubit, pauli, flipped) -> [(ancilla, needs_rotation), ...]
+        self._attachments: Dict[Tuple[int, str, bool],
+                                List[Tuple[Position, bool]]] = {}
+        #: (control, target, flipped_c, flipped_t) -> cached plan list.
+        self._plans: Dict[Tuple[int, int, bool, bool], List[RoutePlan]] = {}
+        self.queries = 0
+        self.plan_cache_hits = 0
+
+    @classmethod
+    def for_layout(cls, layout: GridLayout) -> "RoutingIndex":
+        """The shared index attached to ``layout`` (created on first use)."""
+        index = getattr(layout, "_routing_index", None)
+        if index is None or index.layout is not layout:
+            index = cls(layout)
+            layout._routing_index = index
+        return index
+
+    # -- invalidation ----------------------------------------------------------
+
+    def _invalidate_all(self) -> None:
+        self._paths.clear()
+        self._attachments.clear()
+        self._plans.clear()
+
+    def _sync(self) -> None:
+        if self.layout.version == self._version:
+            return
+        changes = self.layout.changes_since(self._version)
+        self._version = self.layout.version
+        if changes is None or any(enabled for _, _, enabled in changes):
+            self._invalidate_all()
+            return
+        removed = {position for _, position, _ in changes}
+        self._paths = {key: path for key, path in self._paths.items()
+                       if path is None or not removed.intersection(path)}
+        self._attachments = {
+            key: candidates for key, candidates in self._attachments.items()
+            if not any(pos in removed for pos, _ in candidates)}
+        self._plans = {
+            key: plans for key, plans in self._plans.items()
+            if not any(removed.intersection(plan.ancillas_used)
+                       for plan in plans)}
+
+    # -- cached primitives ------------------------------------------------------
+
+    def path(self, start: Position, goal: Position) -> Optional[List[Position]]:
+        """Shortest unblocked ancilla path (memoised; treat as read-only)."""
+        self._sync()
+        key = (start, goal)
+        try:
+            return self._paths[key]
+        except KeyError:
+            path = bfs_ancilla_path(self.layout, start, goal)
+            self._paths[key] = path
+            return path
+
+    def attachments(self, orientation: OrientationTracker, qubit: int,
+                    pauli: str) -> List[Tuple[Position, bool]]:
+        """Cached :func:`_attachment_candidates` (treat as read-only)."""
+        self._sync()
+        key = (qubit, pauli, orientation.is_flipped(qubit))
+        try:
+            return self._attachments[key]
+        except KeyError:
+            candidates = _attachment_candidates(self.layout, orientation,
+                                                qubit, pauli)
+            self._attachments[key] = candidates
+            return candidates
+
+    # -- plan enumeration -------------------------------------------------------
+
+    def _build_plans(self, orientation: OrientationTracker, control: int,
+                     target: int, blocked: Set[Position],
+                     path_finder) -> List[RoutePlan]:
+        return _plans_from_candidates(
+            control, target,
+            self.attachments(orientation, control, "Z"),
+            self.attachments(orientation, target, "X"),
+            blocked, path_finder)
+
+    def enumerate_plans(self, orientation: OrientationTracker, control: int,
+                        target: int,
+                        blocked: Optional[Set[Position]] = None,
+                        path_finder: Optional[Callable[[Position, Position],
+                                                       Optional[List[Position]]]] = None
+                        ) -> List[RoutePlan]:
+        """Candidate CNOT plans, identical to :func:`enumerate_cnot_plans`.
+
+        The returned list is cached for unblocked default-routing queries:
+        treat it (and the plans inside) as read-only.
+        """
+        self._sync()
+        self.queries += 1
+        if path_finder is not None:
+            return self._build_plans(orientation, control, target,
+                                     blocked or set(), path_finder)
+        if blocked:
+            def blocked_finder(a: Position, b: Position):
+                return bfs_ancilla_path(self.layout, a, b, blocked)
+            return self._build_plans(orientation, control, target, blocked,
+                                     blocked_finder)
+        key = (control, target, orientation.is_flipped(control),
+               orientation.is_flipped(target))
+        try:
+            plans = self._plans[key]
+            self.plan_cache_hits += 1
+            return plans
+        except KeyError:
+            plans = self._build_plans(orientation, control, target, set(),
+                                      self.path)
+            self._plans[key] = plans
+            return plans
 
 
 def find_shortest_cnot_plan(layout: GridLayout, orientation: OrientationTracker,

@@ -110,6 +110,34 @@ class InjectionModel:
         """Draw one injection measurement outcome (True = success)."""
         return bool(rng.random() < self.success_probability)
 
+    def sample_outcomes_batch(self, rng: np.random.Generator,
+                              count: int) -> np.ndarray:
+        """Draw ``count`` outcomes in one vectorised call.
+
+        Stream-equivalent to ``count`` successive :meth:`sample_outcome`
+        calls (``Generator.random`` fills arrays from the same bit stream).
+        """
+        return rng.random(count) < self.success_probability
+
+    def sample_injection_counts(self, rng: np.random.Generator, count: int,
+                                theta: Optional[float] = None) -> np.ndarray:
+        """Vectorised Monte-Carlo form of :meth:`sample_injection_count`.
+
+        The truncated chain length ``min(Geometric(p), limit)`` is drawn
+        directly, so one call replaces ``count`` per-attempt sampling loops.
+        Distributionally identical to the scalar method but *not*
+        stream-aligned with it (it consumes one geometric draw per chain
+        instead of one uniform per injection); use it for batch analyses,
+        not to replay a scalar-sampled trace.
+        """
+        limit = self.max_doublings
+        if theta is not None:
+            limit = min(limit, doublings_until_clifford(theta, self.max_doublings))
+            if limit == 0:
+                return np.zeros(count, dtype=np.int64)
+        chains = rng.geometric(self.success_probability, size=count)
+        return np.minimum(chains, limit).astype(np.int64)
+
     def sample_injection_count(self, rng: np.random.Generator,
                                theta: Optional[float] = None) -> int:
         """Draw the total number of injections for a full Rz(theta) execution.

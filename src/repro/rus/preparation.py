@@ -149,6 +149,33 @@ class PreparationModel:
         attempts = self.sample_attempts(rng)
         return max(1, int(math.ceil(attempts * self.cycles_per_attempt)))
 
+    # -- vectorised sampling ---------------------------------------------------------
+
+    def sample_attempts_batch(self, rng: np.random.Generator,
+                              count: int) -> np.ndarray:
+        """Draw ``count`` attempt counts in one vectorised call.
+
+        Stream-equivalent to ``count`` successive :meth:`sample_attempts`
+        calls: numpy's ``Generator.geometric`` consumes the bit stream
+        identically whether it fills an array or returns scalars, so batched
+        and scalar sampling produce bit-identical simulations.
+        """
+        return rng.geometric(self.attempt_success_probability, size=count)
+
+    def sample_cycles_batch(self, rng: np.random.Generator,
+                            count: int) -> np.ndarray:
+        """Draw ``count`` preparation latencies in one vectorised call.
+
+        Element ``i`` equals what the ``i``-th successive
+        :meth:`sample_cycles` call on the same generator state would have
+        returned (see :meth:`sample_attempts_batch`), which is what lets the
+        schedulers batch the draws for a fan-out of parallel preparations
+        without changing any simulated trace.
+        """
+        attempts = self.sample_attempts_batch(rng, count)
+        cycles = np.ceil(attempts * self.cycles_per_attempt).astype(np.int64)
+        return np.maximum(cycles, 1)
+
     # -- convenience -----------------------------------------------------------------
 
     def with_distance(self, distance: int) -> "PreparationModel":

@@ -1,66 +1,11 @@
-"""Sliding-window ancilla activity tracking (Section 4.2).
+"""Compatibility shim: :class:`ActivityTracker` moved to :mod:`repro.kernel`.
 
-RESCQ's routing metric is the *activity* of each ancilla qubit: the fraction
-of the last ``c`` cycles during which the ancilla was busy.  The tracker
-records busy intervals as they are scheduled and answers window queries at MST
-(re)computation time; old intervals are pruned lazily.
+The sliding-window activity tracker is part of the shared fabric state now
+(every policy that routes on activity reads it through
+:class:`~repro.kernel.fabric_state.FabricState`); this module re-exports it
+for existing imports.
 """
 
-from __future__ import annotations
-
-from collections import deque
-from typing import Deque, Dict, Iterable, List, Tuple
-
-from ..fabric import Position
+from ..kernel.activity import ActivityTracker
 
 __all__ = ["ActivityTracker"]
-
-
-class ActivityTracker:
-    """Records per-ancilla busy intervals and answers windowed activity queries."""
-
-    def __init__(self, window: int = 100) -> None:
-        if window <= 0:
-            raise ValueError("window must be positive")
-        self.window = window
-        self._intervals: Dict[Position, Deque[Tuple[int, int]]] = {}
-
-    def record_busy(self, position: Position, start: int, end: int) -> None:
-        """Record that ``position`` is busy during cycles ``[start, end)``."""
-        if end <= start:
-            return
-        self._intervals.setdefault(position, deque()).append((start, end))
-
-    def _prune(self, position: Position, horizon: int) -> None:
-        intervals = self._intervals.get(position)
-        if not intervals:
-            return
-        while intervals and intervals[0][1] <= horizon:
-            intervals.popleft()
-
-    def busy_cycles_in_window(self, position: Position, now: int) -> int:
-        """Number of cycles in ``[now - window, now)`` during which the tile was busy."""
-        horizon = now - self.window
-        self._prune(position, horizon)
-        busy = 0
-        for start, end in self._intervals.get(position, ()):  # few, recent intervals
-            lo = max(start, horizon)
-            hi = min(end, now)
-            if hi > lo:
-                busy += hi - lo
-        return busy
-
-    def activity(self, position: Position, now: int) -> float:
-        """``activity = #cycles active in the last c cycles / c`` (Section 4.2)."""
-        if now <= 0:
-            return 0.0
-        effective_window = min(self.window, now)
-        busy = self.busy_cycles_in_window(position, now)
-        return min(1.0, busy / effective_window) if effective_window else 0.0
-
-    def snapshot(self, positions: Iterable[Position], now: int) -> Dict[Position, float]:
-        """Activity of every listed position at cycle ``now``."""
-        return {position: self.activity(position, now) for position in positions}
-
-    def reset(self) -> None:
-        self._intervals.clear()

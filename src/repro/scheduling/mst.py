@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
 
 import networkx as nx
 
@@ -62,6 +62,10 @@ class AncillaMst:
                                                   algorithm="kruskal")
         self._adjacency: Dict[Position, List[Position]] = {
             node: sorted(self._tree.neighbors(node)) for node in self._tree.nodes}
+        #: Memoised path queries — the tree is immutable, so every
+        #: (start, goal) pair resolves to the same unique path forever.
+        self._path_cache: Dict[Tuple[Position, Position],
+                               Optional[List[Position]]] = {}
 
     @property
     def tree(self) -> nx.Graph:
@@ -75,7 +79,18 @@ class AncillaMst:
 
         Returns ``None`` when either endpoint is not in the tree or the tree
         is disconnected between them (possible only for degenerate layouts).
+        Paths are memoised (the tree never changes); treat the returned list
+        as read-only.
         """
+        key = (start, goal)
+        if key in self._path_cache:
+            return self._path_cache[key]
+        path = self._compute_path(start, goal)
+        self._path_cache[key] = path
+        return path
+
+    def _compute_path(self, start: Position,
+                      goal: Position) -> Optional[List[Position]]:
         if start not in self._adjacency or goal not in self._adjacency:
             return None
         if start == goal:
@@ -142,12 +157,17 @@ class AsyncMstPipeline:
         """The latest available MST (``None`` until the first one finishes)."""
         return self._current
 
-    def tick(self, cycle: int, activity: Dict[Position, float]) -> None:
+    def tick(self, cycle: int,
+             activity: Union[Dict[Position, float],
+                             Callable[[], Dict[Position, float]]]) -> None:
         """Advance the pipeline to ``cycle``.
 
         Starts a new computation if a period boundary has been crossed and
         publishes any computation whose latency has elapsed.  ``activity`` is
-        the live activity snapshot used for a newly started computation.
+        the live activity snapshot used for a newly started computation — or
+        a zero-argument callable producing it, which is only invoked when a
+        computation actually starts (snapshots are expensive and most ticks
+        start nothing).
         """
         # Publish finished computations (oldest first).
         still_pending: List[_PendingComputation] = []
@@ -162,10 +182,11 @@ class AsyncMstPipeline:
 
         # Start a new computation at period boundaries.
         if self._last_started is None or cycle - self._last_started >= self.period:
+            snapshot = activity() if callable(activity) else activity
             self._pending.append(_PendingComputation(
                 started_cycle=cycle,
                 available_cycle=cycle + self.latency,
-                activity_snapshot=dict(activity),
+                activity_snapshot=dict(snapshot),
             ))
             self._last_started = cycle
             self.computations_started += 1

@@ -145,6 +145,10 @@ class QueueSet:
         self._queues: Dict[Position, AncillaQueue] = {
             position: AncillaQueue(position) for position in positions}
         self._sequence = 0
+        #: gate index -> queues it was enqueued on, so removal never scans
+        #: the whole fabric.  May hold stale positions (entries drained by
+        #: ``pop_head``); ``remove_gate`` is a no-op there.
+        self._gate_positions: Dict[int, List[Position]] = {}
 
     def __getitem__(self, position: Position) -> AncillaQueue:
         return self._queues[position]
@@ -164,10 +168,15 @@ class QueueSet:
         if entry.sequence == 0:
             entry.sequence = self.next_sequence()
         self._queues[position].enqueue(entry)
+        positions = self._gate_positions.setdefault(entry.gate_index, [])
+        if position not in positions:
+            positions.append(position)
         return entry
 
     def remove_gate_everywhere(self, gate_index: int) -> int:
-        return sum(queue.remove_gate(gate_index) for queue in self._queues.values())
+        positions = self._gate_positions.pop(gate_index, ())
+        return sum(self._queues[position].remove_gate(gate_index)
+                   for position in positions)
 
     def queue_length(self, position: Position) -> int:
         return len(self._queues[position])

@@ -22,6 +22,14 @@ mechanisms, all implemented here, are:
   recomputed asynchronously every ``k`` cycles and becomes available
   ``tau_mst`` cycles later (Figure 8).
 
+Since the kernel extraction, this module implements only the *policy*: task
+state machines, release rules, queue arbitration and plan choice.  Simulated
+time, the event queue, fabric occupancy, gate releases/retirement and result
+assembly are the shared :class:`~repro.kernel.SimulationKernel`; preparation
+latencies are drawn in vectorised batches through
+:meth:`~repro.rus.preparation.PreparationModel.sample_cycles_batch` (which is
+stream-equivalent to the historical scalar draws, so traces are unchanged).
+
 The ablation switches in :class:`~repro.sim.config.SimulationConfig`
 (``parallel_preparation``, ``eager_correction_prep``, ``use_mst_routing``)
 turn the corresponding mechanism off so its contribution can be measured.
@@ -29,24 +37,20 @@ turn the corresponding mechanism off so its contribution can be measured.
 
 from __future__ import annotations
 
-import heapq
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Tuple
 
-import numpy as np
-
-from ..circuits import Circuit, Gate, GateDependencyGraph, GateType
+from ..circuits import Circuit, Gate
 from ..fabric import Edge, GridLayout, Position
-from ..lattice import OrientationTracker, RoutePlan, enumerate_cnot_plans
-from ..rus import InjectionStrategy
+from ..kernel import EventDrivenPolicy, SimulationKernel, profile_timer
+from ..lattice import RoutePlan
 from ..sim.config import SimulationConfig
 from ..sim.results import GateTrace, SimulationResult
-from .activity import ActivityTracker
 from .base import Scheduler, gate_kind
 from .mst import AsyncMstPipeline
 from .queues import AncillaRole, AncillaStatus, QueueEntry, QueueSet
 
-__all__ = ["RescqScheduler"]
+__all__ = ["RescqScheduler", "RescqPolicy"]
 
 
 # ---------------------------------------------------------------------------
@@ -98,123 +102,104 @@ class _HTask:
     start_cycle: Optional[int] = None
 
 
-class _DeadlockError(RuntimeError):
-    pass
-
-
 # ---------------------------------------------------------------------------
-# The event-driven simulation
+# The RESCQ policy on the event-driven kernel
 # ---------------------------------------------------------------------------
 
-class _RescqSimulation:
-    """One seeded RESCQ execution of a circuit on a layout."""
+class RescqPolicy(EventDrivenPolicy):
+    """One seeded RESCQ execution of a circuit, as a kernel policy."""
 
-    def __init__(self, circuit: Circuit, layout: GridLayout,
-                 config: SimulationConfig, seed: int,
-                 scheduler_name: str = "rescq",
+    def __init__(self, kernel: SimulationKernel,
                  lookahead_preparation: bool = True) -> None:
-        self.circuit = circuit
-        self.layout = layout
-        self.config = config
-        self.costs = config.costs
-        self.scheduler_name = scheduler_name
+        self.kernel = kernel
+        self.circuit = kernel.circuit
+        self.layout = kernel.layout
+        self.config = kernel.config
+        self.costs = kernel.config.costs
         self.lookahead_preparation = lookahead_preparation
-        self.seed = seed
-        self.rng = np.random.default_rng(seed)
-        self.prep_model = config.preparation_model()
+        self.rng = kernel.rng
+        self.prep_model = kernel.config.preparation_model()
 
-        self.dag = GateDependencyGraph(circuit)
-        self.orientation = OrientationTracker(circuit.num_qubits)
-        ancillas = layout.ancilla_positions()
-        self.queues = QueueSet(ancillas)
-        self.activity = ActivityTracker(config.activity_window)
+        self.clock = kernel.clock
+        self.fabric = kernel.fabric
+        self.lifecycle = kernel.lifecycle
+        self.routing = kernel.routing
+        self.profile = kernel.profile
+        self.orientation = self.fabric.orientation
+
+        self.queues = QueueSet(self.fabric.ancillas)
         self.mst: Optional[AsyncMstPipeline] = None
-        if config.use_mst_routing:
-            self.mst = AsyncMstPipeline(layout, config.mst_period,
-                                        config.mst_latency)
-
-        self.clock = 0
-        self.anc_free: Dict[Position, int] = {pos: 0 for pos in ancillas}
-        self.anc_holding: Dict[Position, int] = {}
-        self.data_free: List[int] = [0] * circuit.num_qubits
-        self.data_busy: Dict[int, int] = {q: 0 for q in range(circuit.num_qubits)}
+        if self.config.use_mst_routing:
+            self.mst = AsyncMstPipeline(self.layout, self.config.mst_period,
+                                        self.config.mst_latency)
 
         self.tasks: Dict[int, object] = {}
         self.task_order: List[int] = []
-        self.release_cycle: Dict[int, int] = {}
-        self.traces: List[GateTrace] = []
-        self._events: List[Tuple[int, int, str, tuple]] = []
-        self._event_seq = 0
 
         # next gate on each qubit after a given gate (for lookahead prep).
         self._next_on_qubit: Dict[Tuple[int, int], int] = {}
         last_seen: Dict[int, int] = {}
-        for index in self.dag.nodes:
-            for qubit in circuit[index].qubits:
+        for index in self.lifecycle.dag.nodes:
+            for qubit in self.circuit[index].qubits:
                 if qubit in last_seen:
                     self._next_on_qubit[(last_seen[qubit], qubit)] = index
                 last_seen[qubit] = index
 
-    # -- event plumbing ------------------------------------------------------------
+        #: (qubit, flipped) -> (candidates, attachment); the fan-out geometry
+        #: of Figure 7 is a pure function of layout + orientation, so repeated
+        #: Rz gates on the same qubit reuse it.
+        self._rz_candidate_cache: Dict[Tuple[int, bool],
+                                       Tuple[List[Position],
+                                             Dict[Position, object]]] = {}
 
-    def _push_event(self, cycle: int, tag: str, payload: tuple) -> None:
-        self._event_seq += 1
-        heapq.heappush(self._events, (cycle, self._event_seq, tag, payload))
+    # -- kernel hooks ------------------------------------------------------------
 
-    def _next_event_cycle(self) -> Optional[int]:
-        return self._events[0][0] if self._events else None
-
-    # -- main loop -------------------------------------------------------------------
-
-    def run(self) -> SimulationResult:
-        for index in self.dag.ready:
-            self.release_cycle[index] = 0
+    def on_start(self) -> None:
         self._tick_mst()
-        while not self.dag.all_completed:
-            self._schedule_work()
-            if self.dag.all_completed:
-                break
-            next_cycle = self._next_event_cycle()
-            if next_cycle is None:
-                raise _DeadlockError(
-                    f"scheduler deadlock at cycle {self.clock}: "
-                    f"{self.dag.num_pending} gates pending with no work in flight")
-            if next_cycle > self.config.max_cycles:
-                raise RuntimeError("simulation exceeded max_cycles")
-            self._advance_to(next_cycle)
-        return self._build_result()
 
-    def _advance_to(self, cycle: int) -> None:
-        self.clock = cycle
-        while self._events and self._events[0][0] <= cycle:
-            _cycle, _seq, tag, payload = heapq.heappop(self._events)
-            if tag == "prep":
-                self._on_prep_done(*payload)
-            elif tag == "inject":
-                self._on_injection_done(*payload)
-            elif tag == "cnot":
-                self._on_cnot_done(*payload)
-            elif tag == "h":
-                self._on_hadamard_done(*payload)
+    def on_advance(self) -> None:
         self._tick_mst()
+
+    def handle_event(self, tag: str, payload: tuple) -> None:
+        if tag == "prep":
+            self._on_prep_done(*payload)
+        elif tag == "inject":
+            self._on_injection_done(*payload)
+        elif tag == "cnot":
+            self._on_cnot_done(*payload)
+        elif tag == "h":
+            self._on_hadamard_done(*payload)
+
+    def result_metadata(self) -> Dict[str, float]:
+        return {
+            "mst_computations": float(self.mst.computations_completed
+                                      if self.mst else 0),
+        }
+
+    # -- MST pipeline ------------------------------------------------------------
 
     def _tick_mst(self) -> None:
         if self.mst is None:
             return
-        snapshot = self.activity.snapshot(self.layout.ancilla_positions(),
-                                          self.clock)
-        self.mst.tick(self.clock, snapshot)
+        now = self.clock.now
+        started = self.mst.computations_started
+        with profile_timer(self.profile, "mst"):
+            self.mst.tick(now, lambda: self.fabric.activity_snapshot(now))
+        if self.profile is not None:
+            self.profile.add("mst_builds",
+                             float(self.mst.computations_started - started))
 
-    # -- task creation -----------------------------------------------------------------
+    # -- task creation -----------------------------------------------------------
 
     def _create_tasks_for_ready_gates(self) -> None:
-        for index in self.dag.ready_by_priority():
+        for index in self.lifecycle.ready_by_priority():
             task = self.tasks.get(index)
             if task is None:
                 self._create_task(index, released=True)
             elif isinstance(task, _RzTask) and not task.released:
                 task.released = True
-                task.release_cycle = self.release_cycle.get(index, self.clock)
+                task.release_cycle = self.lifecycle.release_cycle.get(
+                    index, self.clock.now)
 
     def _create_task(self, index: int, released: bool) -> None:
         gate = self.circuit[index]
@@ -236,8 +221,13 @@ class _RescqSimulation:
         All edge-adjacent ancillas are candidates (they can inject directly);
         diagonal ancillas that touch an adjacent ancilla are added up to the
         ``max_parallel_preparations`` budget (they inject through that routing
-        ancilla) — the 1/2/3-plus-routing structure of Figure 7.
+        ancilla) — the 1/2/3-plus-routing structure of Figure 7.  Memoised per
+        (qubit, orientation): treat the returned structures as read-only.
         """
+        key = (qubit, self.orientation.is_flipped(qubit))
+        cached = self._rz_candidate_cache.get(key)
+        if cached is not None:
+            return cached
         position = self.layout.data_position(qubit)
         attachment: Dict[Position, object] = {}
         adjacent: List[Position] = []
@@ -250,7 +240,9 @@ class _RescqSimulation:
         adjacent.sort(key=lambda pos: attachment[pos] != "Z")
         if not self.config.parallel_preparation:
             chosen = adjacent[:1]
-            return chosen, {pos: attachment[pos] for pos in chosen}
+            result = (chosen, {pos: attachment[pos] for pos in chosen})
+            self._rz_candidate_cache[key] = result
+            return result
 
         candidates = list(adjacent)
         budget = max(0, self.config.max_parallel_preparations - len(candidates))
@@ -270,7 +262,9 @@ class _RescqSimulation:
                 candidates.append(diag)
                 attachment[diag] = routers[0]
                 budget -= 1
-        return candidates, attachment
+        result = (candidates, attachment)
+        self._rz_candidate_cache[key] = result
+        return result
 
     def _create_rz_task(self, index: int, gate: Gate, released: bool) -> _RzTask:
         qubit = gate.qubits[0]
@@ -285,7 +279,8 @@ class _RescqSimulation:
             candidates=candidates,
             attachment=attachment,
             released=released,
-            release_cycle=self.release_cycle.get(index) if released else None,
+            release_cycle=(self.lifecycle.release_cycle.get(index)
+                           if released else None),
         )
         for position in candidates:
             entry = QueueEntry(index, "rz", (qubit,), AncillaRole.PREPARE)
@@ -298,8 +293,8 @@ class _RescqSimulation:
 
     def _expected_free_time(self, position: Position) -> float:
         """Expected cycle at which ``position`` frees up (Section 4.2)."""
-        base = float(max(self.clock, self.anc_free[position]))
-        if position in self.anc_holding:
+        base = float(max(self.clock.now, self.fabric.anc_free[position]))
+        if position in self.fabric.anc_holding:
             base += 1.0
         pending = 0.0
         for entry in self.queues[position]:
@@ -319,12 +314,12 @@ class _RescqSimulation:
             def path_finder(a: Position, b: Position):
                 return tree.path(a, b)
 
-        plans = enumerate_cnot_plans(self.layout, self.orientation, control,
-                                     target, path_finder=path_finder)
+        plans = self.routing.enumerate_plans(self.orientation, control, target,
+                                             path_finder=path_finder)
         if not plans:
             # Fall back to BFS (e.g. the MST snapshot predates a layout quirk).
-            plans = enumerate_cnot_plans(self.layout, self.orientation,
-                                         control, target)
+            plans = self.routing.enumerate_plans(self.orientation, control,
+                                                 target)
         if not plans:
             raise RuntimeError(
                 f"no ancilla path between qubits {control} and {target}")
@@ -341,7 +336,8 @@ class _RescqSimulation:
         return min(plans, key=score)
 
     def _create_cnot_task(self, index: int, gate: Gate) -> _CnotTask:
-        plan = self._choose_cnot_plan(gate.control, gate.target)
+        with profile_timer(self.profile, "routing"):
+            plan = self._choose_cnot_plan(gate.control, gate.target)
         for position in plan.ancillas_used:
             role = AncillaRole.ROUTE
             if position in (plan.rotation_ancilla_control,
@@ -350,7 +346,8 @@ class _RescqSimulation:
             entry = QueueEntry(index, "cnot", gate.qubits, role)
             self.queues.enqueue(position, entry)
         return _CnotTask(index, gate.control, gate.target, plan,
-                         release_cycle=self.release_cycle.get(index, self.clock))
+                         release_cycle=self.lifecycle.release_cycle.get(
+                             index, self.clock.now))
 
     def _create_h_task(self, index: int, gate: Gate) -> _HTask:
         qubit = gate.qubits[0]
@@ -361,7 +358,8 @@ class _RescqSimulation:
         entry = QueueEntry(index, "h", (qubit,), AncillaRole.HELPER)
         self.queues.enqueue(ancilla, entry)
         return _HTask(index, qubit, ancilla,
-                      release_cycle=self.release_cycle.get(index, self.clock))
+                      release_cycle=self.lifecycle.release_cycle.get(
+                          index, self.clock.now))
 
     def _maybe_lookahead_prepare(self, index: int) -> None:
         """Pre-enqueue the next Rz on each operand qubit of a starting gate."""
@@ -379,14 +377,15 @@ class _RescqSimulation:
             # so preparation (but not injection) may begin immediately.
             self._create_task(nxt, released=False)
 
-    # -- the scheduling pass -------------------------------------------------------------
+    # -- the scheduling pass -------------------------------------------------------
 
-    def _schedule_work(self) -> None:
+    def schedule_pass(self) -> None:
         # A pass can complete gates synchronously (Clifford-truncated
         # corrections) which releases successors; keep passing until the
         # frontier is stable so same-cycle progress is never missed.
+        traces = self.lifecycle.traces
         while True:
-            completed_before = len(self.traces)
+            completed_before = len(traces)
             self._create_tasks_for_ready_gates()
             # Iterate in task-creation (seniority) order so that queue-head
             # checks and resource grabs respect the order that enqueued them.
@@ -403,15 +402,15 @@ class _RescqSimulation:
                 elif isinstance(task, _HTask):
                     if not task.started:
                         self._try_start_hadamard(task)
-            if len(self.traces) == completed_before:
+            if len(traces) == completed_before:
                 break
 
     def _ancilla_available(self, position: Position, gate_index: int) -> bool:
-        return (self.anc_free[position] <= self.clock
-                and self.anc_holding.get(position) in (None, gate_index)
+        return (self.fabric.anc_free[position] <= self.clock.now
+                and self.fabric.anc_holding.get(position) in (None, gate_index)
                 and self.queues[position].is_at_head(gate_index))
 
-    # -- Rz state machine ----------------------------------------------------------------
+    # -- Rz state machine ----------------------------------------------------------
 
     def _prep_level(self, task: _RzTask) -> int:
         """Which correction level candidates should be preparing right now."""
@@ -434,27 +433,37 @@ class _RescqSimulation:
         level = self._prep_level(task)
         if level >= task.limit:
             return
-        for position in task.candidates:
-            if position in task.preparing:
-                continue
-            held = task.holding.get(position)
-            if held is not None and held >= task.level:
-                continue
-            if not self._ancilla_available(position, task.gate_index):
-                continue
-            duration = self.prep_model.sample_cycles(self.rng)
-            finish = self.clock + duration
+        now = self.clock.now
+        # Eligibility never depends on the durations drawn below (candidate
+        # tiles are distinct), so the draws batch into one vectorised call —
+        # stream-equivalent to the historical per-candidate scalar draws.
+        eligible = [position for position in task.candidates
+                    if position not in task.preparing
+                    and not (task.holding.get(position) is not None
+                             and task.holding[position] >= task.level)
+                    and self._ancilla_available(position, task.gate_index)]
+        if not eligible:
+            return
+        if len(eligible) == 1:
+            durations = [self.prep_model.sample_cycles(self.rng)]
+        else:
+            durations = self.prep_model.sample_cycles_batch(self.rng,
+                                                            len(eligible))
+        for position, duration in zip(eligible, durations):
+            duration = int(duration)
+            finish = now + duration
             task.preparing[position] = [finish, level]
             task.prep_attempts += 1
             if task.first_start is None:
-                task.first_start = self.clock
-            self.anc_free[position] = finish
-            self.activity.record_busy(position, self.clock, finish)
+                task.first_start = now
+            self.fabric.occupy_ancilla(position, now, finish)
             self.queues[position].update_angle_level(task.gate_index, level)
             head = self.queues[position].head
             if head is not None and head.gate_index == task.gate_index:
                 head.status = AncillaStatus.PREPARING
-            self._push_event(finish, "prep", (task.gate_index, position, finish))
+            if self.profile is not None:
+                self.profile.add("sim_prep_cycles", float(duration))
+            self.clock.push(finish, "prep", (task.gate_index, position, finish))
 
     def _injection_resources(self, task: _RzTask, position: Position
                              ) -> Optional[Tuple[List[Position], int]]:
@@ -465,8 +474,8 @@ class _RescqSimulation:
         if attachment == "X":
             return [position], self.costs.cnot_injection_cycles
         router: Position = attachment  # diagonal candidate: route through this tile
-        holder = self.anc_holding.get(router)
-        if (self.anc_free[router] <= self.clock
+        holder = self.fabric.anc_holding.get(router)
+        if (self.fabric.anc_free[router] <= self.clock.now
                 and holder in (None, task.gate_index)):
             # The router may be holding one of *our own* eagerly prepared
             # correction states; sacrificing it to unblock the injection is
@@ -474,14 +483,15 @@ class _RescqSimulation:
             # necessary", Section 3.2).
             if holder == task.gate_index:
                 task.holding.pop(router, None)
-                self.anc_holding.pop(router, None)
+                self.fabric.release_hold(router)
             return [position, router], self.costs.cnot_injection_cycles
         return None
 
     def _maybe_start_injection(self, task: _RzTask) -> None:
         if task.injecting or not task.released:
             return
-        if self.data_free[task.qubit] > self.clock:
+        now = self.clock.now
+        if self.fabric.data_free[task.qubit] > now:
             return
         ready = [pos for pos, lvl in task.holding.items() if lvl == task.level]
         if not ready:
@@ -500,25 +510,26 @@ class _RescqSimulation:
             if resources is None:
                 continue
             tiles, duration = resources
-            finish = self.clock + duration
+            finish = now + duration
             for tile in tiles:
-                self.anc_free[tile] = finish
-                self.activity.record_busy(tile, self.clock, finish)
-            self.data_free[task.qubit] = finish
-            self.data_busy[task.qubit] += duration
+                self.fabric.occupy_ancilla(tile, now, finish)
+            self.fabric.occupy_data(task.qubit, now, finish)
             task.injecting = True
             task.injections += 1
             if task.first_start is None:
-                task.first_start = self.clock
+                task.first_start = now
             # The consumed state (and any surplus same-level states) are gone;
             # surplus holders immediately become eager-correction preparers.
             task.holding.pop(position, None)
-            self.anc_holding.pop(position, None)
+            self.fabric.release_hold(position)
             for other, level in list(task.holding.items()):
                 if level == task.level:
                     task.holding.pop(other)
-                    self.anc_holding.pop(other, None)
-            self._push_event(finish, "inject", (task.gate_index, position, finish))
+                    self.fabric.release_hold(other)
+            if self.profile is not None:
+                self.profile.add("sim_injection_cycles", float(duration))
+            self.clock.push(finish, "inject",
+                            (task.gate_index, position, finish))
             self._maybe_lookahead_prepare(task.gate_index)
             return
 
@@ -535,7 +546,7 @@ class _RescqSimulation:
             return  # the chain moved past this level; discard the state
         is_first_at_level = not any(lvl == level for lvl in task.holding.values())
         task.holding[position] = level
-        self.anc_holding[position] = gate_index
+        self.fabric.hold(position, gate_index)
         head = self.queues[position].head
         if head is not None and head.gate_index == gate_index:
             head.status = AncillaStatus.DONE_PREPARING
@@ -566,48 +577,48 @@ class _RescqSimulation:
 
     def _complete_rz(self, task: _RzTask) -> None:
         task.done = True
-        for position, info in task.preparing.items():
+        now = self.clock.now
+        for position in task.preparing:
             # Terminate in-flight preparations immediately (Figure 7, t=5).
-            self.anc_free[position] = min(self.anc_free[position], self.clock)
+            self.fabric.truncate_ancilla(position, now)
         task.preparing.clear()
         for position in list(task.holding):
-            self.anc_holding.pop(position, None)
+            self.fabric.release_hold(position)
         task.holding.clear()
         self.queues.remove_gate_everywhere(task.gate_index)
-        scheduled = task.release_cycle if task.release_cycle is not None else self.clock
+        scheduled = task.release_cycle if task.release_cycle is not None else now
         start = task.first_start if task.first_start is not None else scheduled
-        self.traces.append(GateTrace(
+        self._finish_gate(GateTrace(
             task.gate_index, "rz", (task.qubit,),
-            scheduled_cycle=scheduled, start_cycle=start, end_cycle=self.clock,
+            scheduled_cycle=scheduled, start_cycle=start, end_cycle=now,
             injections=task.injections,
             preparation_attempts=task.prep_attempts))
-        self._finish_gate(task.gate_index)
 
-    # -- CNOT and Hadamard ------------------------------------------------------------------
+    # -- CNOT and Hadamard ----------------------------------------------------------
 
     def _try_start_cnot(self, task: _CnotTask) -> None:
-        if (self.data_free[task.control] > self.clock
-                or self.data_free[task.target] > self.clock):
+        now = self.clock.now
+        if (self.fabric.data_free[task.control] > now
+                or self.fabric.data_free[task.target] > now):
             return
         resources = task.plan.ancillas_used
         for position in resources:
             if not self._ancilla_available(position, task.gate_index):
                 return
         duration = task.plan.duration(self.costs)
-        finish = self.clock + duration
+        finish = now + duration
         for position in resources:
-            self.anc_free[position] = finish
-            self.activity.record_busy(position, self.clock, finish)
+            self.fabric.occupy_ancilla(position, now, finish)
             head = self.queues[position].head
             if head is not None and head.gate_index == task.gate_index:
                 head.status = AncillaStatus.EXECUTING
-        self.data_free[task.control] = finish
-        self.data_free[task.target] = finish
-        self.data_busy[task.control] += duration
-        self.data_busy[task.target] += duration
+        self.fabric.occupy_data(task.control, now, finish)
+        self.fabric.occupy_data(task.target, now, finish)
         task.started = True
-        task.start_cycle = self.clock
-        self._push_event(finish, "cnot", (task.gate_index, finish))
+        task.start_cycle = now
+        if self.profile is not None:
+            self.profile.add("sim_cnot_cycles", float(duration))
+        self.clock.push(finish, "cnot", (task.gate_index, finish))
         self._maybe_lookahead_prepare(task.gate_index)
 
     def _on_cnot_done(self, gate_index: int, finish: int) -> None:
@@ -619,29 +630,29 @@ class _RescqSimulation:
         if task.plan.target_rotation:
             self.orientation.rotate(task.target)
         self.queues.remove_gate_everywhere(gate_index)
-        self.traces.append(GateTrace(
+        self._finish_gate(GateTrace(
             gate_index, "cnot", (task.control, task.target),
             scheduled_cycle=task.release_cycle,
             start_cycle=task.start_cycle if task.start_cycle is not None
             else task.release_cycle,
             end_cycle=finish,
             edge_rotations=task.plan.num_rotations))
-        self._finish_gate(gate_index)
 
     def _try_start_hadamard(self, task: _HTask) -> None:
-        if self.data_free[task.qubit] > self.clock:
+        now = self.clock.now
+        if self.fabric.data_free[task.qubit] > now:
             return
         if not self._ancilla_available(task.ancilla, task.gate_index):
             return
         duration = self.costs.hadamard_cycles
-        finish = self.clock + duration
-        self.anc_free[task.ancilla] = finish
-        self.activity.record_busy(task.ancilla, self.clock, finish)
-        self.data_free[task.qubit] = finish
-        self.data_busy[task.qubit] += duration
+        finish = now + duration
+        self.fabric.occupy_ancilla(task.ancilla, now, finish)
+        self.fabric.occupy_data(task.qubit, now, finish)
         task.started = True
-        task.start_cycle = self.clock
-        self._push_event(finish, "h", (task.gate_index, finish))
+        task.start_cycle = now
+        if self.profile is not None:
+            self.profile.add("sim_hadamard_cycles", float(duration))
+        self.clock.push(finish, "h", (task.gate_index, finish))
         self._maybe_lookahead_prepare(task.gate_index)
 
     def _on_hadamard_done(self, gate_index: int, finish: int) -> None:
@@ -651,39 +662,18 @@ class _RescqSimulation:
         # A logical Hadamard exchanges the patch's X and Z boundaries.
         self.orientation.rotate(task.qubit)
         self.queues.remove_gate_everywhere(gate_index)
-        self.traces.append(GateTrace(
+        self._finish_gate(GateTrace(
             gate_index, "h", (task.qubit,),
             scheduled_cycle=task.release_cycle,
             start_cycle=task.start_cycle if task.start_cycle is not None
             else task.release_cycle,
             end_cycle=finish))
-        self._finish_gate(gate_index)
 
-    # -- completion plumbing ----------------------------------------------------------------
+    # -- completion plumbing ----------------------------------------------------------
 
-    def _finish_gate(self, gate_index: int) -> None:
-        newly_released = self.dag.complete(gate_index)
-        for index in newly_released:
-            self.release_cycle[index] = self.clock
-        self.tasks.pop(gate_index, None)
-
-    def _build_result(self) -> SimulationResult:
-        total = self.clock
-        metadata = {
-            "mst_computations": float(self.mst.computations_completed
-                                      if self.mst else 0),
-        }
-        return SimulationResult(
-            benchmark=self.circuit.name,
-            scheduler=self.scheduler_name,
-            seed=self.seed,
-            total_cycles=total,
-            num_qubits=self.circuit.num_qubits,
-            traces=self.traces,
-            data_busy_cycles=self.data_busy,
-            config_summary=self.config.describe(),
-            metadata=metadata,
-        )
+    def _finish_gate(self, trace: GateTrace) -> None:
+        self.lifecycle.retire(trace, self.clock.now)
+        self.tasks.pop(trace.gate_index, None)
 
 
 class RescqScheduler(Scheduler):
@@ -712,8 +702,10 @@ class RescqScheduler(Scheduler):
             config: SimulationConfig, seed: int = 0) -> SimulationResult:
         prepared = self.prepare_circuit(circuit)
         prepared.name = circuit.name
-        simulation = _RescqSimulation(
-            prepared, layout, config, seed,
-            scheduler_name=self.name,
-            lookahead_preparation=self.lookahead_preparation)
-        return simulation.run()
+        kernel = SimulationKernel(prepared, layout, config, seed,
+                                  scheduler_name=self.name,
+                                  benchmark=circuit.name,
+                                  activity_window=config.activity_window)
+        policy = RescqPolicy(kernel,
+                             lookahead_preparation=self.lookahead_preparation)
+        return kernel.run_event_driven(policy)

@@ -13,23 +13,229 @@ the correction state.  Crucially, both are *layer-synchronous*: the next layer
 starts only after every gate of the current layer has finished, which is where
 most of their cycle count goes once non-deterministic Rz gates are present
 (Section 3.1).
+
+Since the kernel extraction the layer loop and barrier live in
+:meth:`repro.kernel.SimulationKernel.run_layer_synchronous`; this module
+implements only the per-gate execution mechanics and the per-layer CNOT
+path-selection policies (:meth:`StaticLayerScheduler._choose_plan`).
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Tuple
 
-import numpy as np
-
-from ..circuits import Circuit, Gate, GateType
-from ..fabric import Edge, GridLayout, Position
-from ..lattice import OrientationTracker, RoutePlan, enumerate_cnot_plans
+from ..circuits import Circuit, Gate
+from ..fabric import GridLayout, Position
+from ..kernel import LayerSyncPolicy, SimulationKernel, profile_timer
+from ..lattice import RoutePlan
 from ..rus import InjectionStrategy
 from ..sim.config import SimulationConfig
 from ..sim.results import GateTrace, SimulationResult
 from .base import Scheduler, gate_kind
 
 __all__ = ["StaticLayerScheduler", "GreedyScheduler", "AutoBraidScheduler"]
+
+
+class _StaticLayerPolicy(LayerSyncPolicy):
+    """Per-gate execution mechanics of the layer-synchronous baselines.
+
+    Plan *choice* is delegated back to the owning scheduler's
+    :meth:`StaticLayerScheduler._choose_plan`, which is all that
+    distinguishes greedy from AutoBraid.
+    """
+
+    def __init__(self, kernel: SimulationKernel,
+                 scheduler: "StaticLayerScheduler") -> None:
+        self.kernel = kernel
+        self.scheduler = scheduler
+        self.config = kernel.config
+        self.costs = kernel.config.costs
+        self.layout = kernel.layout
+        self.rng = kernel.rng
+        self.prep_model = kernel.config.preparation_model()
+        self.fabric = kernel.fabric
+        self.lifecycle = kernel.lifecycle
+        self.routing = kernel.routing
+        self.profile = kernel.profile
+        self.orientation = kernel.fabric.orientation
+        #: How many times each ancilla has been claimed within the open layer
+        #: (AutoBraid uses this to spread paths out).
+        self.claimed: Dict[Position, int] = {}
+        #: qubit -> (prep ancilla, injection helper, injection cycles); the
+        #: dedicated-block geometry is static, so it is resolved once.
+        self._rz_geometry: Dict[int, Tuple[Position, Optional[Position], int]] = {}
+
+    # -- kernel hooks ------------------------------------------------------------
+
+    def begin_layer(self, layer_start: int) -> None:
+        self.claimed = {}
+
+    def execute_gate(self, gate_index: int, gate: Gate,
+                     layer_start: int) -> int:
+        kind = gate_kind(gate)
+        if kind == "cnot":
+            return self._execute_cnot(gate_index, gate, layer_start)
+        if kind == "rz":
+            return self._execute_rz(gate_index, gate, layer_start)
+        if kind == "h":
+            return self._execute_hadamard(gate_index, gate, layer_start)
+        return layer_start  # pragma: no cover - free gates are stripped beforehand
+
+    # -- gate executors ----------------------------------------------------------
+
+    def _execute_cnot(self, gate_index: int, gate: Gate,
+                      layer_start: int) -> int:
+        control, target = gate.control, gate.target
+        with profile_timer(self.profile, "routing"):
+            plans = self.routing.enumerate_plans(self.orientation,
+                                                 control, target)
+        if not plans:
+            raise RuntimeError(
+                f"no ancilla path between qubits {control} and {target}; "
+                "the layout's ancilla fabric is disconnected")
+        plan = self.scheduler._choose_plan(plans, self.claimed, self.config)
+        duration = plan.duration(self.costs)
+        resources = plan.ancillas_used
+        anc_free = self.fabric.anc_free
+        start = max(layer_start, self.fabric.data_free[control],
+                    self.fabric.data_free[target],
+                    *(anc_free[pos] for pos in resources))
+        end = start + duration
+        for position in resources:
+            self.fabric.occupy_ancilla(position, start, end)
+            self.claimed[position] = self.claimed.get(position, 0) + 1
+        self.fabric.occupy_data(control, start, end)
+        self.fabric.occupy_data(target, start, end)
+        if plan.control_rotation:
+            self.orientation.rotate(control)
+        if plan.target_rotation:
+            self.orientation.rotate(target)
+        if self.profile is not None:
+            self.profile.add("sim_cnot_cycles", float(duration))
+        self.lifecycle.traces.append(GateTrace(
+            gate_index, "cnot", gate.qubits,
+            scheduled_cycle=layer_start,
+            start_cycle=start, end_cycle=end,
+            edge_rotations=plan.num_rotations))
+        return end
+
+    def _dedicated_prep_ancilla(self, qubit: int) -> Position:
+        """The single ancilla the STAR baseline uses for this qubit's |m_theta>.
+
+        Figure 1d always prepares in one fixed ancilla of the atomic block;
+        we use the first available block ancilla (east, then south, then
+        south-east), falling back to any ancilla neighbour after compression.
+        """
+        row, col = self.layout.data_position(qubit)
+        for candidate in ((row, col + 1), (row + 1, col), (row + 1, col + 1)):
+            if self.layout.is_ancilla(candidate):
+                return candidate
+        neighbors = self.layout.ancilla_neighbors_of_qubit(qubit)
+        if not neighbors:
+            raise RuntimeError(f"data qubit {qubit} has no ancilla neighbour")
+        return neighbors[0]
+
+    def _rz_resources(self, qubit: int) -> Tuple[Position, Optional[Position], int]:
+        """(prep ancilla, helper, injection cycles) for the qubit — memoised.
+
+        A CNOT-style injection needs a second ancilla (Table 1); use another
+        free neighbour when one exists, otherwise fall back to the 1-ancilla
+        ZZ strategy (compressed blocks may simply not have a second tile).
+        """
+        cached = self._rz_geometry.get(qubit)
+        if cached is not None:
+            return cached
+        prep_ancilla = self._dedicated_prep_ancilla(qubit)
+        strategy = self.config.baseline_injection_strategy
+        injection_cycles = self.costs.injection_cycles(strategy.value)
+        helper: Optional[Position] = None
+        if strategy is InjectionStrategy.CNOT:
+            for candidate in self.layout.ancilla_neighbors_of_qubit(qubit):
+                if candidate != prep_ancilla:
+                    helper = candidate
+                    break
+            if helper is None:
+                for candidate in self.layout.ancilla_neighbors(prep_ancilla):
+                    if candidate != prep_ancilla:
+                        helper = candidate
+                        break
+            if helper is None:
+                injection_cycles = self.costs.zz_injection_cycles
+        result = (prep_ancilla, helper, injection_cycles)
+        self._rz_geometry[qubit] = result
+        return result
+
+    def _execute_rz(self, gate_index: int, gate: Gate,
+                    layer_start: int) -> int:
+        qubit = gate.qubits[0]
+        prep_ancilla, helper, injection_cycles = self._rz_resources(qubit)
+        fabric = self.fabric
+
+        limit = self.scheduler.injection_limit(gate)
+        clock = max(layer_start, fabric.data_free[qubit])
+        prep_attempts = 0
+        injections = 0
+        first_start: Optional[int] = None
+        for _attempt in range(limit):
+            # Preparation on the dedicated ancilla, no early start (baseline).
+            prep_start = max(clock, fabric.anc_free[prep_ancilla])
+            prep_duration = self.prep_model.sample_cycles(self.rng)
+            prep_attempts += 1
+            prep_end = prep_start + prep_duration
+            fabric.occupy_ancilla(prep_ancilla, prep_start, prep_end)
+            if first_start is None:
+                first_start = prep_start
+            if self.profile is not None:
+                self.profile.add("sim_prep_cycles", float(prep_duration))
+
+            # Injection occupies the data qubit, the prep ancilla and the helper.
+            injection_start = max(prep_end, fabric.data_free[qubit])
+            if helper is not None:
+                injection_start = max(injection_start, fabric.anc_free[helper])
+            injection_end = injection_start + injection_cycles
+            fabric.occupy_ancilla(prep_ancilla, injection_start, injection_end)
+            if helper is not None:
+                fabric.occupy_ancilla(helper, injection_start, injection_end)
+            fabric.occupy_data(qubit, injection_start, injection_end)
+            injections += 1
+            if self.profile is not None:
+                self.profile.add("sim_injection_cycles",
+                                 float(injection_cycles))
+            clock = injection_end
+            if self.rng.random() < 0.5:
+                break
+            # Failure: the correction R(2^k theta) restarts the whole protocol.
+        self.lifecycle.traces.append(GateTrace(
+            gate_index, "rz", gate.qubits,
+            scheduled_cycle=layer_start,
+            start_cycle=first_start if first_start is not None else layer_start,
+            end_cycle=clock,
+            injections=injections,
+            preparation_attempts=prep_attempts))
+        return clock
+
+    def _execute_hadamard(self, gate_index: int, gate: Gate,
+                          layer_start: int) -> int:
+        qubit = gate.qubits[0]
+        neighbors = self.layout.ancilla_neighbors_of_qubit(qubit)
+        if not neighbors:
+            raise RuntimeError(f"data qubit {qubit} has no ancilla neighbour")
+        anc_free = self.fabric.anc_free
+        helper = min(neighbors, key=lambda pos: anc_free[pos])
+        start = max(layer_start, self.fabric.data_free[qubit], anc_free[helper])
+        end = start + self.costs.hadamard_cycles
+        self.fabric.occupy_ancilla(helper, start, end)
+        self.fabric.occupy_data(qubit, start, end)
+        # A logical Hadamard exchanges the X and Z boundaries of the patch.
+        self.orientation.rotate(qubit)
+        if self.profile is not None:
+            self.profile.add("sim_hadamard_cycles",
+                             float(self.costs.hadamard_cycles))
+        self.lifecycle.traces.append(GateTrace(
+            gate_index, "h", gate.qubits,
+            scheduled_cycle=layer_start,
+            start_cycle=start, end_cycle=end))
+        return end
 
 
 class StaticLayerScheduler(Scheduler):
@@ -52,212 +258,12 @@ class StaticLayerScheduler(Scheduler):
 
     def run(self, circuit: Circuit, layout: GridLayout,
             config: SimulationConfig, seed: int = 0) -> SimulationResult:
-        rng = self.make_rng(seed)
         scheduled = self.prepare_circuit(circuit)
-        prep_model = config.preparation_model()
-        orientation = OrientationTracker(scheduled.num_qubits)
-        costs = config.costs
-
-        ancilla_free: Dict[Position, int] = {
-            pos: 0 for pos in layout.ancilla_positions()}
-        data_free: List[int] = [0] * scheduled.num_qubits
-        data_busy: Dict[int, int] = {q: 0 for q in range(scheduled.num_qubits)}
-        traces: List[GateTrace] = []
-
-        clock = 0
-        for layer in scheduled.layers():
-            layer_start = clock
-            layer_end = layer_start
-            #: How many times each ancilla has been claimed within this layer
-            #: (AutoBraid uses this to spread paths out).
-            claimed: Dict[Position, int] = {}
-            for gate_index in layer:
-                gate = scheduled[gate_index]
-                kind = gate_kind(gate)
-                if kind == "cnot":
-                    end = self._execute_cnot(
-                        gate_index, gate, layout, orientation, config,
-                        layer_start, ancilla_free, data_free, data_busy,
-                        claimed, traces)
-                elif kind == "rz":
-                    end = self._execute_rz(
-                        gate_index, gate, layout, orientation, config,
-                        prep_model, rng, layer_start, ancilla_free, data_free,
-                        data_busy, traces)
-                elif kind == "h":
-                    end = self._execute_hadamard(
-                        gate_index, gate, layout, orientation, config,
-                        layer_start, ancilla_free, data_free, data_busy, traces)
-                else:  # pragma: no cover - free gates are stripped beforehand
-                    end = layer_start
-                layer_end = max(layer_end, end)
-                if layer_end - layer_start > config.max_cycles:
-                    raise RuntimeError("layer exceeded max_cycles; "
-                                       "likely an unroutable CNOT")
-            # Layer barrier: everything waits for the slowest gate.
-            clock = layer_end
-            for position in ancilla_free:
-                ancilla_free[position] = max(ancilla_free[position], clock)
-            for qubit in range(scheduled.num_qubits):
-                data_free[qubit] = max(data_free[qubit], clock)
-
-        result = SimulationResult(
-            benchmark=circuit.name,
-            scheduler=self.name,
-            seed=seed,
-            total_cycles=clock,
-            num_qubits=scheduled.num_qubits,
-            traces=traces,
-            data_busy_cycles=data_busy,
-            config_summary=config.describe(),
-        )
-        return result
-
-    # -- gate executors --------------------------------------------------------------
-
-    def _execute_cnot(self, gate_index: int, gate: Gate, layout: GridLayout,
-                      orientation: OrientationTracker, config: SimulationConfig,
-                      layer_start: int, ancilla_free: Dict[Position, int],
-                      data_free: List[int], data_busy: Dict[int, int],
-                      claimed: Dict[Position, int],
-                      traces: List[GateTrace]) -> int:
-        control, target = gate.control, gate.target
-        plans = enumerate_cnot_plans(layout, orientation, control, target)
-        if not plans:
-            raise RuntimeError(
-                f"no ancilla path between qubits {control} and {target}; "
-                "the layout's ancilla fabric is disconnected")
-        plan = self._choose_plan(plans, claimed, config)
-        duration = plan.duration(config.costs)
-        resources = plan.ancillas_used
-        start = max(layer_start, data_free[control], data_free[target],
-                    *(ancilla_free[pos] for pos in resources))
-        end = start + duration
-        for position in resources:
-            ancilla_free[position] = end
-            claimed[position] = claimed.get(position, 0) + 1
-        data_free[control] = end
-        data_free[target] = end
-        data_busy[control] += end - start
-        data_busy[target] += end - start
-        if plan.control_rotation:
-            orientation.rotate(control)
-        if plan.target_rotation:
-            orientation.rotate(target)
-        traces.append(GateTrace(gate_index, "cnot", gate.qubits,
-                                scheduled_cycle=layer_start,
-                                start_cycle=start, end_cycle=end,
-                                edge_rotations=plan.num_rotations))
-        return end
-
-    def _dedicated_prep_ancilla(self, layout: GridLayout,
-                                qubit: int) -> Position:
-        """The single ancilla the STAR baseline uses for this qubit's |m_theta>.
-
-        Figure 1d always prepares in one fixed ancilla of the atomic block;
-        we use the first available block ancilla (east, then south, then
-        south-east), falling back to any ancilla neighbour after compression.
-        """
-        row, col = layout.data_position(qubit)
-        for candidate in ((row, col + 1), (row + 1, col), (row + 1, col + 1)):
-            if layout.is_ancilla(candidate):
-                return candidate
-        neighbors = layout.ancilla_neighbors_of_qubit(qubit)
-        if not neighbors:
-            raise RuntimeError(f"data qubit {qubit} has no ancilla neighbour")
-        return neighbors[0]
-
-    def _execute_rz(self, gate_index: int, gate: Gate, layout: GridLayout,
-                    orientation: OrientationTracker, config: SimulationConfig,
-                    prep_model, rng: np.random.Generator, layer_start: int,
-                    ancilla_free: Dict[Position, int], data_free: List[int],
-                    data_busy: Dict[int, int],
-                    traces: List[GateTrace]) -> int:
-        qubit = gate.qubits[0]
-        prep_ancilla = self._dedicated_prep_ancilla(layout, qubit)
-        strategy = config.baseline_injection_strategy
-        injection_cycles = config.costs.injection_cycles(strategy.value)
-
-        # A CNOT-style injection needs a second ancilla (Table 1); use another
-        # free neighbour when one exists, otherwise fall back to the 1-ancilla
-        # ZZ strategy (compressed blocks may simply not have a second tile).
-        helper: Optional[Position] = None
-        if strategy is InjectionStrategy.CNOT:
-            for candidate in layout.ancilla_neighbors_of_qubit(qubit):
-                if candidate != prep_ancilla:
-                    helper = candidate
-                    break
-            if helper is None:
-                for candidate in layout.ancilla_neighbors(prep_ancilla):
-                    if candidate != prep_ancilla:
-                        helper = candidate
-                        break
-            if helper is None:
-                injection_cycles = config.costs.zz_injection_cycles
-
-        limit = self.injection_limit(gate)
-        clock = max(layer_start, data_free[qubit])
-        prep_attempts = 0
-        injections = 0
-        busy_added = 0
-        first_start: Optional[int] = None
-        for _attempt in range(limit):
-            # Preparation on the dedicated ancilla, no early start (baseline).
-            prep_start = max(clock, ancilla_free[prep_ancilla])
-            prep_duration = prep_model.sample_cycles(rng)
-            prep_attempts += 1
-            prep_end = prep_start + prep_duration
-            ancilla_free[prep_ancilla] = prep_end
-            if first_start is None:
-                first_start = prep_start
-
-            # Injection occupies the data qubit, the prep ancilla and the helper.
-            injection_start = max(prep_end, data_free[qubit])
-            if helper is not None:
-                injection_start = max(injection_start, ancilla_free[helper])
-            injection_end = injection_start + injection_cycles
-            ancilla_free[prep_ancilla] = injection_end
-            if helper is not None:
-                ancilla_free[helper] = injection_end
-            data_free[qubit] = injection_end
-            busy_added += injection_end - injection_start
-            injections += 1
-            clock = injection_end
-            if rng.random() < 0.5:
-                break
-            # Failure: the correction R(2^k theta) restarts the whole protocol.
-        data_busy[qubit] += busy_added
-        traces.append(GateTrace(gate_index, "rz", gate.qubits,
-                                scheduled_cycle=layer_start,
-                                start_cycle=first_start if first_start is not None
-                                else layer_start,
-                                end_cycle=clock,
-                                injections=injections,
-                                preparation_attempts=prep_attempts))
-        return clock
-
-    def _execute_hadamard(self, gate_index: int, gate: Gate, layout: GridLayout,
-                          orientation: OrientationTracker,
-                          config: SimulationConfig, layer_start: int,
-                          ancilla_free: Dict[Position, int],
-                          data_free: List[int], data_busy: Dict[int, int],
-                          traces: List[GateTrace]) -> int:
-        qubit = gate.qubits[0]
-        neighbors = layout.ancilla_neighbors_of_qubit(qubit)
-        if not neighbors:
-            raise RuntimeError(f"data qubit {qubit} has no ancilla neighbour")
-        helper = min(neighbors, key=lambda pos: ancilla_free[pos])
-        start = max(layer_start, data_free[qubit], ancilla_free[helper])
-        end = start + config.costs.hadamard_cycles
-        ancilla_free[helper] = end
-        data_free[qubit] = end
-        data_busy[qubit] += end - start
-        # A logical Hadamard exchanges the X and Z boundaries of the patch.
-        orientation.rotate(qubit)
-        traces.append(GateTrace(gate_index, "h", gate.qubits,
-                                scheduled_cycle=layer_start,
-                                start_cycle=start, end_cycle=end))
-        return end
+        kernel = SimulationKernel(scheduled, layout, config, seed,
+                                  scheduler_name=self.name,
+                                  benchmark=circuit.name)
+        policy = _StaticLayerPolicy(kernel, self)
+        return kernel.run_layer_synchronous(policy)
 
 
 class GreedyScheduler(StaticLayerScheduler):

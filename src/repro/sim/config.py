@@ -46,6 +46,11 @@ class SimulationConfig:
         Cap on how many ancillas RESCQ fans a single Rz preparation out to.
     eager_correction_prep / parallel_preparation:
         RESCQ design-choice toggles, used by the ablation benchmarks.
+    profile_enabled:
+        Collect per-phase cycle and wall-time counters
+        (:class:`~repro.kernel.profiler.KernelProfile`) into
+        :attr:`~repro.sim.results.SimulationResult.profile`.  Pure
+        observability: simulated results are identical either way.
     """
 
     distance: int = 7
@@ -61,6 +66,7 @@ class SimulationConfig:
     eager_correction_prep: bool = True
     parallel_preparation: bool = True
     use_mst_routing: bool = True
+    profile_enabled: bool = False
 
     def __post_init__(self) -> None:
         if self.distance < 3 or self.distance % 2 == 0:

@@ -59,6 +59,10 @@ class SimulationResult:
     data_busy_cycles: Dict[int, int] = field(default_factory=dict)
     config_summary: str = ""
     metadata: Dict[str, float] = field(default_factory=dict)
+    #: Per-phase cycle / wall-time counters (populated only when the run's
+    #: config set ``profile_enabled``; see repro.kernel.profiler).  Pure
+    #: observability — excluded from serialised results by default.
+    profile: Dict[str, float] = field(default_factory=dict)
 
     # -- per-kind latency views (Figure 5) -------------------------------------
 

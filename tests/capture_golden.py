@@ -1,0 +1,32 @@
+"""Regenerate the golden-trace JSON files (see tests/golden_cases.py).
+
+Run only when a behaviour change is intentional::
+
+    PYTHONPATH=src python tests/capture_golden.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+from golden_cases import GOLDEN_DIR, golden_cases, golden_path, run_case
+
+
+def main() -> int:
+    os.makedirs(GOLDEN_DIR, exist_ok=True)
+    for case_id, circuit_key, scheduler, seed, variant in golden_cases():
+        payload = run_case(circuit_key, scheduler, seed, variant)
+        with open(golden_path(case_id), "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=1, sort_keys=True)
+            handle.write("\n")
+        print(f"captured {case_id}: {payload['total_cycles']} cycles, "
+              f"{len(payload['traces'])} traces")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
