@@ -24,7 +24,7 @@ each job is independently seeded.
 from __future__ import annotations
 
 import os
-from typing import Dict, List
+from typing import List
 
 import pytest
 
@@ -48,6 +48,27 @@ from repro.workloads import (
 )
 
 FULL_SCALE = bool(int(os.environ.get("RESCQ_FULL", "0")))
+
+#: When set, harnesses that call :func:`record_bench` also write their rows
+#: to ``BENCH_<name>.json`` at the repo root, which the nightly benchmark
+#: workflow uploads as artifacts (the kernel-throughput harness always
+#: writes its own ``BENCH_kernel.json``).
+RECORD = bool(int(os.environ.get("RESCQ_BENCH_RECORD", "0")))
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def record_bench(name: str, payload) -> None:
+    """Dump one harness's result rows to ``BENCH_<name>.json`` (if enabled)."""
+    if not RECORD:
+        return
+    import json
+
+    path = os.path.join(_REPO_ROOT, f"BENCH_{name}.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump({"benchmark": name, "full_scale": FULL_SCALE,
+                   "payload": payload}, handle, indent=2, sort_keys=True)
+        handle.write("\n")
 
 #: Number of seeded repetitions per configuration (the paper uses 10-1000).
 SEEDS = 5 if FULL_SCALE else 2

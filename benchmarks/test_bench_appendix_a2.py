@@ -6,7 +6,6 @@ from repro.rus import (
     InjectionStrategy,
     PreparationModel,
     RzCostModel,
-    TFactoryModel,
     compare_rz_vs_t,
 )
 

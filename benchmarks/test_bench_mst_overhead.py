@@ -10,7 +10,6 @@ scratch, and the incremental tree stays exactly equivalent to a full Kruskal.
 import time
 
 import numpy as np
-import pytest
 
 from repro.analysis import format_table
 from repro.fabric import StarVariant, star_layout

@@ -3,11 +3,14 @@
 from repro.analysis import format_table
 from repro.workloads import table3_rows
 
+from conftest import record_bench
+
 
 def test_bench_table3_workload_characteristics(benchmark):
     rows = benchmark.pedantic(table3_rows, rounds=1, iterations=1)
     print()
     print(format_table(rows, title="Table 3: benchmarks (paper vs generated)"))
+    record_bench("table3", rows)
     # Every row regenerates with the right qubit count and a non-trivial
     # amount of both gate types.
     assert len(rows) == 23

@@ -17,6 +17,7 @@ from .export import (
 )
 from .fidelity import LogicalErrorModel, figure3_series, max_rotations
 from .report import (
+    format_circuit_stats,
     format_comparison,
     format_histogram,
     format_normalised_summary,
@@ -47,6 +48,7 @@ __all__ = [
     "figure3_series",
     "max_rotations",
     "format_table",
+    "format_circuit_stats",
     "format_comparison",
     "format_histogram",
     "format_normalised_summary",

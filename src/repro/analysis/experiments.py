@@ -14,7 +14,7 @@ engine accelerates the whole experiment, not one benchmark at a time.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from ..circuits import Circuit
 from ..exec import ExecutionEngine, SimJob, plan_jobs
@@ -22,7 +22,6 @@ from ..scheduling import (DEFAULT_SCHEDULER_NAMES, SCHEDULER_REGISTRY,
                           RescqScheduler)
 from ..sim import (
     SimulationConfig,
-    SimulationResult,
     aggregate_comparison,
     default_layout,
     geometric_mean,

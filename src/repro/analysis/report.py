@@ -7,10 +7,10 @@ EXPERIMENTS.md record.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence
 
-__all__ = ["format_table", "format_comparison", "format_histogram",
-           "format_normalised_summary"]
+__all__ = ["format_table", "format_comparison", "format_circuit_stats",
+           "format_histogram", "format_normalised_summary"]
 
 
 def format_table(rows: Sequence[Mapping[str, object]],
@@ -52,6 +52,18 @@ def format_comparison(cells: Mapping[str, object],
         "max": cell.max_cycles,
         "idle_fraction": round(cell.mean_idle_fraction, 3),
     } for name, cell in cells.items()]
+    return format_table(rows, title=title)
+
+
+def format_circuit_stats(circuits, title: Optional[str] = None) -> str:
+    """Render Table 3-style characteristic rows, one per circuit.
+
+    Accepts any iterable of :class:`~repro.circuits.circuit.Circuit`; used by
+    ``rescq gen --stats`` and handy for auditing imported or generated
+    workloads next to the published Table 3 columns.
+    """
+    rows = [{"name": circuit.name, **circuit.stats().as_row()}
+            for circuit in circuits]
     return format_table(rows, title=title)
 
 

@@ -12,7 +12,7 @@ new function plus CLI dispatch arm.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Tuple
 
 from ..circuits import Circuit

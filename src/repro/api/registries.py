@@ -21,12 +21,12 @@ from __future__ import annotations
 from ..circuits import Circuit
 from ..fabric import GridLayout, StarVariant, compress_layout, star_layout
 from ..scheduling import DEFAULT_SCHEDULER_NAMES, SCHEDULER_REGISTRY
-from ..workloads.registry import BENCHMARK_REGISTRY
+from ..workloads.registry import BENCHMARK_REGISTRY, resolve_benchmark
 from .axes import AXIS_REGISTRY
 from .registry import Registry
 
 __all__ = ["SCHEDULERS", "BENCHMARKS", "LAYOUTS", "SWEEP_AXES",
-           "DEFAULT_SCHEDULER_NAMES", "build_layout"]
+           "DEFAULT_SCHEDULER_NAMES", "build_layout", "resolve_benchmark"]
 
 SCHEDULERS: Registry = SCHEDULER_REGISTRY
 BENCHMARKS: Registry = BENCHMARK_REGISTRY

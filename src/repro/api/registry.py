@@ -15,7 +15,7 @@ to register their entries without pulling in the rest of :mod:`repro.api`.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Generic, Iterator, List, Optional, Tuple, TypeVar
+from typing import Dict, Generic, Iterator, List, Optional, Tuple, TypeVar
 
 __all__ = ["Registry", "RegistryError", "DuplicateEntryError",
            "UnknownEntryError"]

@@ -24,8 +24,16 @@ from __future__ import annotations
 import json
 import statistics
 from dataclasses import dataclass, field
-from typing import (Callable, Dict, Iterable, Iterator, List, Mapping,
-                    Optional, Sequence, Tuple)
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from ..sim.results import SimulationResult, aggregate_results
 from ..sim.runner import ComparisonRow

@@ -28,7 +28,7 @@ import dataclasses
 import itertools
 import json
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Mapping, Optional, Tuple, Union
 
 from ..scheduling import DEFAULT_SCHEDULER_NAMES
 from ..sim.config import SimulationConfig
@@ -49,6 +49,25 @@ _CONFIG_FIELDS = tuple(
 
 #: Grid keys that drive the layout instead of the config.
 _LAYOUT_KEYS = ("compression",)
+
+
+def _canonical_benchmark(name: str) -> str:
+    """Normalise ``scenario:...`` references to their canonical spelling.
+
+    ``scenario:clifford_t:depth=8,n=6`` and ``scenario:clifford_t:n=6,depth=8``
+    build byte-identical circuits; canonicalising at spec construction makes
+    them share one result label and one cache fingerprint.  Anything that
+    fails to parse (including non-scenario names) is kept verbatim so
+    :meth:`ExperimentSpec.validate` reports it with the resolver's message.
+    """
+    if not (isinstance(name, str) and name.startswith("scenario:")):
+        return name
+    try:
+        from ..workloads.scenarios import parse_scenario_name, scenario_name
+        family, params = parse_scenario_name(name)
+        return scenario_name(family.name, **params)
+    except Exception:
+        return name
 
 
 def _as_value_tuple(values) -> Tuple:
@@ -104,7 +123,15 @@ class ExperimentSpec:
         if isinstance(self.benchmarks, str):
             raise SpecValidationError(
                 "benchmarks must be a list of names, not a single string")
-        object.__setattr__(self, "benchmarks", tuple(self.benchmarks))
+        # Canonicalise, then drop duplicates order-preservingly: two scenario
+        # spellings may converge to one canonical name, and running (or
+        # rendering) the same benchmark twice is never intended.
+        names = [_canonical_benchmark(name) for name in self.benchmarks]
+        try:
+            names = list(dict.fromkeys(names))
+        except TypeError:
+            pass  # unhashable entries; validate() rejects them actionably
+        object.__setattr__(self, "benchmarks", tuple(names))
         object.__setattr__(self, "schedulers", tuple(self.schedulers))
         object.__setattr__(self, "config", dict(self.config))
         object.__setattr__(
@@ -129,6 +156,7 @@ class ExperimentSpec:
         Raises :class:`SpecValidationError` with an actionable message;
         returns ``self`` so calls chain (``spec.validate().expand()``).
         """
+        from ..workloads.registry import resolve_benchmark
         from .registries import BENCHMARKS, LAYOUTS, SCHEDULERS
         if not self.benchmarks:
             raise SpecValidationError(
@@ -138,8 +166,21 @@ class ExperimentSpec:
             raise SpecValidationError(
                 "spec lists no schedulers; add at least one of "
                 f"{SCHEDULERS.names()}")
-        for kind, names, registry in (("benchmark", self.benchmarks, BENCHMARKS),
-                                      ("scheduler", self.schedulers, SCHEDULERS),
+        for name in self.benchmarks:
+            if not isinstance(name, str):
+                raise SpecValidationError(
+                    f"benchmark references must be strings (a registered "
+                    f"name, a scenario:... name or a .qasm path), "
+                    f"got {name!r}")
+            # Registry names, scenario:... generator names and .qasm paths
+            # all resolve here; resolution errors (unknown name, malformed
+            # scenario parameters, unreadable/unparseable QASM) surface as
+            # spec validation errors with the resolver's actionable message.
+            try:
+                resolve_benchmark(name)
+            except (KeyError, ValueError) as exc:
+                raise SpecValidationError(str(exc)) from None
+        for kind, names, registry in (("scheduler", self.schedulers, SCHEDULERS),
                                       ("layout", (self.layout,), LAYOUTS)):
             for name in names:
                 if name not in registry:
@@ -321,12 +362,13 @@ class ExperimentSpec:
         values.
         """
         from ..exec.jobs import plan_jobs
-        from .registries import BENCHMARKS, LAYOUTS, SCHEDULERS
+        from ..workloads.registry import resolve_benchmark
+        from .registries import LAYOUTS, SCHEDULERS
         self.validate()
         schedulers = [SCHEDULERS.create(name) for name in self.schedulers]
         jobs: List["SimJob"] = []
         for benchmark in self.benchmarks:
-            circuit = BENCHMARKS.get(benchmark).build()
+            circuit = resolve_benchmark(benchmark).build()
             for point in self.grid_points():
                 config = self.config_for(point)
                 layout = LAYOUTS.create(

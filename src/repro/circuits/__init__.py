@@ -17,6 +17,7 @@ from .gates import (
 )
 from .circuit import Circuit, CircuitStats
 from .dag import GateDependencyGraph
+from .qasm import QasmImportError, import_qasm_file, parse_qasm
 from .textio import (
     from_artifact_format,
     from_qasm,
@@ -46,6 +47,9 @@ __all__ = [
     "from_artifact_format",
     "to_qasm",
     "from_qasm",
+    "parse_qasm",
+    "import_qasm_file",
+    "QasmImportError",
     "transpile_to_clifford_rz",
     "decompose_gate",
     "BASIS",

@@ -10,7 +10,7 @@ interface the simulator drives.
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Set, Tuple
 
 from .circuit import Circuit
 from .gates import GateType

@@ -5,15 +5,14 @@ Two formats are supported:
 * the **artifact format** from the paper's appendix B.7 — first line is the
   number of gates, then one gate per line as
   ``<gate name> <qubit(s)> <rotation angle for Rz gates>``;
-* a pragmatic subset of **OpenQASM 2.0** sufficient to round-trip the circuits
-  produced by the workload generators (``qreg``, ``rz``, ``h``, ``x``, ``z``,
-  ``s``, ``t``, ``cx``, ``measure``, ``barrier``).
+* **OpenQASM 2.0** — emission lives here (:func:`to_qasm`); parsing is
+  delegated to the full lexer/parser in :mod:`repro.circuits.qasm`, so
+  :func:`from_qasm` accepts everything the importer does (gate macros,
+  register broadcasting, qelib1 gates, angle expressions, ...).
 """
 
 from __future__ import annotations
 
-import math
-import re
 from typing import List, Optional
 
 from .circuit import Circuit
@@ -31,12 +30,18 @@ __all__ = [
 # Artifact format (appendix B.7)
 # ---------------------------------------------------------------------------
 
-def to_artifact_format(circuit: Circuit) -> str:
-    """Serialise ``circuit`` in the simulator input format from appendix B.7."""
+def to_artifact_format(circuit: Circuit, include_barriers: bool = False) -> str:
+    """Serialise ``circuit`` in the simulator input format from appendix B.7.
+
+    The appendix format omits barriers (they cost no lattice-surgery cycles);
+    pass ``include_barriers=True`` for a lossless gate listing — the form the
+    execution engine hashes into job fingerprints, where a barrier *does*
+    change scheduling behaviour and must change the cache key.
+    """
     lines: List[str] = []
     emitted = 0
     for gate in circuit:
-        if gate.gate_type is GateType.BARRIER:
+        if gate.gate_type is GateType.BARRIER and not include_barriers:
             continue
         qubits = " ".join(str(q) for q in gate.qubits)
         if gate.gate_type is GateType.RZ:
@@ -87,22 +92,10 @@ def from_artifact_format(text: str, name: str = "circuit",
 
 
 # ---------------------------------------------------------------------------
-# OpenQASM 2.0 subset
+# OpenQASM 2.0
 # ---------------------------------------------------------------------------
 
 _QASM_HEADER = 'OPENQASM 2.0;\ninclude "qelib1.inc";\n'
-_QREG_RE = re.compile(r"qreg\s+(\w+)\s*\[\s*(\d+)\s*\]")
-_GATE_RE = re.compile(
-    r"(?P<name>[a-z]+)\s*(\((?P<angle>[^)]*)\))?\s+(?P<operands>[^;]+);")
-_OPERAND_RE = re.compile(r"(\w+)\s*\[\s*(\d+)\s*\]")
-
-_QASM_NAMES = {
-    "rz": GateType.RZ, "h": GateType.H, "x": GateType.X, "z": GateType.Z,
-    "s": GateType.S, "sdg": GateType.SDG, "t": GateType.T, "tdg": GateType.TDG,
-    "y": GateType.Y, "cx": GateType.CNOT, "cz": GateType.CZ,
-    "swap": GateType.SWAP, "rx": GateType.RX, "ry": GateType.RY,
-    "rzz": GateType.RZZ, "measure": GateType.MEASURE,
-}
 
 
 def to_qasm(circuit: Circuit) -> str:
@@ -124,51 +117,15 @@ def to_qasm(circuit: Circuit) -> str:
     return "\n".join(lines) + "\n"
 
 
-def _parse_angle(expression: str) -> float:
-    """Evaluate the restricted arithmetic allowed in QASM angle expressions."""
-    allowed = {"pi": math.pi}
-    cleaned = expression.strip()
-    if not re.fullmatch(r"[0-9eE\.\+\-\*/\(\)\s]*|.*pi.*", cleaned):
-        raise ValueError(f"unsupported angle expression {expression!r}")
-    if re.search(r"[^0-9eE\.\+\-\*/\(\)\spi]", cleaned):
-        raise ValueError(f"unsupported angle expression {expression!r}")
-    return float(eval(cleaned, {"__builtins__": {}}, allowed))  # noqa: S307
-
-
 def from_qasm(text: str, name: str = "circuit") -> Circuit:
-    """Parse the OpenQASM 2.0 subset emitted by :func:`to_qasm`."""
-    num_qubits = None
-    for match in _QREG_RE.finditer(text):
-        size = int(match.group(2))
-        num_qubits = size if num_qubits is None else num_qubits + size
-    if num_qubits is None:
-        raise ValueError("QASM text does not declare a qreg")
+    """Parse OpenQASM 2.0 ``text`` (full importer; inverse of :func:`to_qasm`).
 
-    circuit = Circuit(num_qubits, name=name)
-    for raw_line in text.splitlines():
-        line = raw_line.split("//")[0].strip()
-        if (not line or line.startswith("OPENQASM") or line.startswith("include")
-                or line.startswith("qreg") or line.startswith("creg")):
-            continue
-        if line.startswith("barrier"):
-            circuit.append(Gate(GateType.BARRIER, ()))
-            continue
-        if line.startswith("measure"):
-            operands = _OPERAND_RE.findall(line)
-            if operands:
-                circuit.append(Gate(GateType.MEASURE, (int(operands[0][1]),)))
-            continue
-        match = _GATE_RE.match(line)
-        if not match:
-            raise ValueError(f"cannot parse QASM line {raw_line!r}")
-        gate_name = match.group("name")
-        if gate_name not in _QASM_NAMES:
-            raise ValueError(f"unsupported QASM gate {gate_name!r}")
-        gate_type = _QASM_NAMES[gate_name]
-        qubits = tuple(int(idx) for _, idx in _OPERAND_RE.findall(
-            match.group("operands")))
-        angle = None
-        if match.group("angle") is not None:
-            angle = _parse_angle(match.group("angle"))
-        circuit.append(Gate(gate_type, qubits, angle=angle))
-    return circuit
+    Delegates to :func:`repro.circuits.qasm.parse_qasm`, so besides the
+    output of :func:`to_qasm` this accepts gate macros, register
+    broadcasting, the qelib1 standard gates and constant angle expressions.
+    The result keeps the importer's extended vocabulary; lower it with
+    :func:`~repro.circuits.transpile.transpile_to_clifford_rz` before
+    scheduling.
+    """
+    from .qasm import parse_qasm
+    return parse_qasm(text, name=name)

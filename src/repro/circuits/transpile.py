@@ -10,7 +10,7 @@ well-known gate vocabulary (rotations, controlled-phase, swap, Toffoli, ...).
 from __future__ import annotations
 
 import math
-from typing import Iterable, List
+from typing import List
 
 from .circuit import Circuit
 from .gates import Gate, GateType

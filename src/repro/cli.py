@@ -8,6 +8,13 @@ Subcommands
     sorted by benchmark name.
 ``run``
     Execute one benchmark under one or more schedulers and print cycles.
+    The benchmark may be a registered name (``qft_n18``), a
+    ``scenario:<family>:key=value,...`` generator name, or a path to an
+    OpenQASM 2.0 file (``rescq run path/to/file.qasm``).
+``gen``
+    Build a seeded scenario circuit (``rescq gen --list`` shows the
+    families) and emit it as OpenQASM or appendix-B.7 text, optionally with
+    its Table 3-style characteristics.
 ``sweep``
     Run one of the registered sensitivity sweeps (``rescq sweep --help``
     lists the axes) on a benchmark.
@@ -33,14 +40,20 @@ import argparse
 import sys
 from typing import List, Optional, Sequence
 
-from .analysis.report import format_table
+from .analysis.report import format_circuit_stats, format_table
 from .api.axes import AXIS_REGISTRY
 from .api.facade import build_engine, render_experiment, run_experiment
 from .api.registries import DEFAULT_SCHEDULER_NAMES, SCHEDULERS
 from .api.spec import ExperimentSpec, SpecValidationError
+from .circuits import to_artifact_format, to_qasm
 from .exec import ExecutionEngine
 from .rus import PreparationModel
-from .workloads import table3_rows
+from .workloads import (
+    SCENARIO_FAMILIES,
+    ScenarioError,
+    scenario_name,
+    table3_rows,
+)
 
 __all__ = ["main", "build_parser"]
 
@@ -60,7 +73,10 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("list", help="list the Table 3 benchmarks")
 
     run_parser = sub.add_parser("run", help="run one benchmark")
-    run_parser.add_argument("benchmark", help="benchmark name, e.g. qft_n18")
+    run_parser.add_argument("benchmark",
+                            help="benchmark name (e.g. qft_n18), scenario "
+                                 "name (scenario:<family>:key=value,...) or "
+                                 "path to an OpenQASM 2.0 file (*.qasm)")
     run_parser.add_argument("--schedulers",
                             default=",".join(DEFAULT_SCHEDULER_NAMES),
                             help="comma-separated scheduler names "
@@ -91,6 +107,29 @@ def build_parser() -> argparse.ArgumentParser:
     exp_parser.add_argument("--json", metavar="PATH", default=None,
                             help="also write seed-level results as JSON")
     _add_engine_arguments(exp_parser)
+
+    gen_parser = sub.add_parser(
+        "gen", help="generate a seeded scenario circuit")
+    gen_parser.add_argument("family", nargs="?", default=None,
+                            help="scenario family name (see --list)")
+    gen_parser.add_argument("--list", action="store_true", dest="list_families",
+                            help="list the scenario families and their "
+                                 "parameters")
+    gen_parser.add_argument("--set", dest="params", action="append",
+                            default=[], metavar="KEY=VALUE",
+                            help="generator parameter override (repeatable), "
+                                 "e.g. --set depth=24 --set t_density=0.3")
+    gen_parser.add_argument("--seed", type=int, default=None,
+                            help="shorthand for --set seed=N")
+    gen_parser.add_argument("--format", choices=("qasm", "artifact"),
+                            default="qasm",
+                            help="output format: OpenQASM 2.0 (default) or "
+                                 "the appendix B.7 artifact text")
+    gen_parser.add_argument("--out", metavar="PATH", default=None,
+                            help="write the circuit to PATH instead of stdout")
+    gen_parser.add_argument("--stats", action="store_true",
+                            help="also print the Table 3-style "
+                                 "characteristics of the generated circuit")
 
     prep_parser = sub.add_parser("prep", help="Figure 16 preparation statistics")
     prep_parser.add_argument("--distances", default="5,7,9,11,13")
@@ -210,6 +249,68 @@ def _command_exp(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_gen(args: argparse.Namespace) -> int:
+    if args.list_families or args.family is None:
+        if args.family is None and not args.list_families:
+            raise SystemExit(
+                "gen: name a scenario family or pass --list; families: "
+                f"{SCENARIO_FAMILIES.names()}")
+        rows = [{
+            "family": name,
+            "description": family.description,
+            "parameters": " ".join(
+                f"{p.name}={p.default}" for p in family.parameters),
+        } for name, family in SCENARIO_FAMILIES.items()]
+        print(format_table(rows, title="scenario generator families"))
+        return 0
+    if args.family not in SCENARIO_FAMILIES:
+        raise SystemExit(f"gen: unknown scenario family {args.family!r}; "
+                         f"families: {SCENARIO_FAMILIES.names()}")
+    family = SCENARIO_FAMILIES.get(args.family)
+    overrides = {}
+    for item in args.params:
+        key, equals, value_text = item.partition("=")
+        if not equals or not key or not value_text:
+            raise SystemExit(f"gen: malformed --set {item!r}; use KEY=VALUE")
+        if key in overrides:
+            raise SystemExit(f"gen: parameter {key!r} set twice")
+        try:
+            overrides[key] = family.parameter(key).parse(value_text,
+                                                         family.name)
+        except ScenarioError as exc:
+            raise SystemExit(f"gen: {exc}")
+    if args.seed is not None:
+        if "seed" in overrides:
+            raise SystemExit("gen: seed given both via --seed and --set "
+                             "seed=...; use one")
+        overrides["seed"] = args.seed
+    try:
+        name = scenario_name(args.family, **overrides)
+        circuit = family.build(**overrides)
+    except ScenarioError as exc:
+        raise SystemExit(f"gen: {exc}")
+    circuit.name = name
+    if args.format == "qasm":
+        text = to_qasm(circuit)
+    else:
+        text = to_artifact_format(circuit)
+    if args.out:
+        try:
+            with open(args.out, "w", encoding="utf-8") as handle:
+                handle.write(text)
+        except OSError as exc:
+            raise SystemExit(f"gen: cannot write {args.out!r}: {exc}")
+        print(f"[gen] wrote {args.out} ({name})")
+    else:
+        print(text, end="")
+    if args.stats:
+        # To stderr so `rescq gen ... --stats > c.qasm` still emits a valid
+        # circuit file on stdout.
+        print(format_circuit_stats([circuit], title="generated circuit"),
+              file=sys.stderr)
+    return 0
+
+
 def _command_prep(args: argparse.Namespace) -> int:
     distances = [int(token) for token in args.distances.split(",")]
     error_rates = [float(token) for token in args.error_rates.split(",")]
@@ -238,6 +339,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _command_sweep(args)
     if args.command == "exp":
         return _command_exp(args)
+    if args.command == "gen":
+        return _command_gen(args)
     if args.command == "prep":
         return _command_prep(args)
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover

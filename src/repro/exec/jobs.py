@@ -48,10 +48,16 @@ def _canonical(value):
 
 
 def _circuit_descriptor(circuit: Circuit) -> Dict[str, object]:
+    # include_barriers=True: the appendix B.7 format drops barriers, but a
+    # barrier changes layer structure and hence scheduling behaviour, so two
+    # circuits differing only in barriers must not share a cache entry.
+    # Imported .qasm files and generated scenarios are fingerprinted by this
+    # full gate content (plus the circuit name), so editing a file or changing
+    # a generator seed/parameter always misses the cache.
     return {
         "name": circuit.name,
         "num_qubits": circuit.num_qubits,
-        "gates": to_artifact_format(circuit),
+        "gates": to_artifact_format(circuit, include_barriers=True),
     }
 
 

@@ -19,8 +19,8 @@ ancilla-per-data ratio than the ideal 1.0; the achieved ratio is reported in
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import List, Set, Tuple
 
 import numpy as np
 

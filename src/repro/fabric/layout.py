@@ -8,9 +8,9 @@ orientation, tile busy times, activity) lives in the simulator.
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterator, List, Optional, Set, Tuple
 
-from .tile import Edge, Position, Tile, TileType, manhattan
+from .tile import Edge, Position, Tile, TileType
 
 __all__ = ["GridLayout"]
 

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Iterator, Tuple
+from typing import Tuple
 
 __all__ = ["TileType", "Position", "Edge", "Tile", "manhattan"]
 

@@ -9,7 +9,7 @@ records busy intervals as they are scheduled and answers window queries at MST
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Dict, Iterable, List, Tuple
+from typing import Deque, Dict, Iterable, Tuple
 
 from ..fabric import Position
 

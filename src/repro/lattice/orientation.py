@@ -9,7 +9,7 @@ that currently faces the wrong way (Figure 4).
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List
+from typing import Dict, List
 
 from ..fabric import Edge, GridLayout, Position
 

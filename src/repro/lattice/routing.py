@@ -11,8 +11,8 @@ enumerating and validating plans are shared and live here.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from ..fabric import Edge, GridLayout, Position
 from .operations import DEFAULT_COSTS, LatticeSurgeryCosts

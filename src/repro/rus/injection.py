@@ -27,7 +27,7 @@ from typing import Optional
 
 import numpy as np
 
-from ..circuits import doublings_until_clifford, is_clifford_angle
+from ..circuits import doublings_until_clifford
 
 __all__ = ["InjectionStrategy", "InjectionModel", "expected_injections"]
 

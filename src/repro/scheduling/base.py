@@ -3,16 +3,13 @@
 from __future__ import annotations
 
 import abc
-from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from ..circuits import Circuit, Gate, GateType, doublings_until_clifford
-from ..fabric import GridLayout, Position
-from ..lattice import OrientationTracker
-from ..rus import InjectionModel, InjectionStrategy, PreparationModel
+from ..fabric import GridLayout
 from ..sim.config import SimulationConfig
-from ..sim.results import GateTrace, SimulationResult
+from ..sim.results import SimulationResult
 
 __all__ = ["Scheduler", "gate_kind"]
 

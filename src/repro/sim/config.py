@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Optional
 
 from ..lattice import DEFAULT_COSTS, LatticeSurgeryCosts
 from ..rus import InjectionStrategy, PreparationModel

@@ -26,7 +26,7 @@ from ..exec.engine import ExecutionEngine
 from ..exec.jobs import SimJob, plan_jobs
 from ..fabric import GridLayout, StarVariant, compress_layout, star_layout
 from .config import SimulationConfig
-from .results import SimulationResult, aggregate_results, geometric_mean
+from .results import SimulationResult
 
 __all__ = ["default_layout", "run_schedule", "run_comparison",
            "ComparisonRow", "compare_schedulers", "aggregate_comparison"]

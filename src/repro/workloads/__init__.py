@@ -12,9 +12,26 @@ from .registry import (
     BenchmarkSpec,
     benchmark_names,
     get_benchmark,
+    imported_benchmark,
     register_benchmark,
     representative_benchmarks,
+    resolve_benchmark,
     table3_rows,
+)
+from .scenarios import (
+    CURATED_SCENARIOS,
+    SCENARIO_FAMILIES,
+    ScenarioError,
+    ScenarioFamily,
+    ScenarioParameter,
+    build_scenario,
+    clifford_rz_circuit,
+    clifford_t_circuit,
+    congestion_circuit,
+    parse_scenario_name,
+    scenario_benchmark,
+    scenario_name,
+    scenario_sweep_names,
 )
 from .supermarq import (
     hamiltonian_simulation_circuit,
@@ -30,9 +47,24 @@ __all__ = [
     "TABLE3",
     "benchmark_names",
     "get_benchmark",
+    "imported_benchmark",
     "register_benchmark",
     "representative_benchmarks",
+    "resolve_benchmark",
     "table3_rows",
+    "ScenarioError",
+    "ScenarioParameter",
+    "ScenarioFamily",
+    "SCENARIO_FAMILIES",
+    "CURATED_SCENARIOS",
+    "scenario_name",
+    "parse_scenario_name",
+    "build_scenario",
+    "scenario_benchmark",
+    "scenario_sweep_names",
+    "clifford_t_circuit",
+    "clifford_rz_circuit",
+    "congestion_circuit",
     "ising_circuit",
     "qft_circuit",
     "multiplier_circuit",

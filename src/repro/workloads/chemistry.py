@@ -9,7 +9,7 @@ once the single-qubit rotation layers are included (Table 3).
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence, Tuple
+from typing import Sequence, Tuple
 
 from ..circuits import Circuit, Gate, GateType, transpile_to_clifford_rz
 

@@ -9,8 +9,6 @@ layers of simultaneous CNOTs — exactly the stress case the paper calls out
 
 from __future__ import annotations
 
-import math
-from typing import Optional, Sequence
 
 from ..circuits import Circuit, Gate, GateType, transpile_to_clifford_rz
 

@@ -8,7 +8,6 @@ close to 1 after decomposition, matching the ``qft_n*`` rows of Table 3.
 from __future__ import annotations
 
 import math
-from typing import Optional
 
 from ..circuits import Circuit, Gate, GateType, transpile_to_clifford_rz
 

@@ -9,7 +9,6 @@ resulting Rz:CNOT ratio is roughly 1.4 (Table 3).
 
 from __future__ import annotations
 
-from typing import Optional
 
 from ..circuits import Circuit, Gate, GateType, transpile_to_clifford_rz
 

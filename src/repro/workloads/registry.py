@@ -10,10 +10,11 @@ substitution is auditable (see DESIGN.md).
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
-from ..api.registry import Registry
+from ..api.registry import Registry, UnknownEntryError
 from ..circuits import Circuit
 from .chemistry import gcm_circuit, vqe_circuit
 from .dnn import dnn_circuit
@@ -34,8 +35,10 @@ __all__ = [
     "TABLE3",
     "benchmark_names",
     "get_benchmark",
+    "imported_benchmark",
     "register_benchmark",
     "representative_benchmarks",
+    "resolve_benchmark",
     "table3_rows",
 ]
 
@@ -146,6 +149,85 @@ def benchmark_names(suite: Optional[str] = None) -> List[str]:
 def get_benchmark(name: str) -> BenchmarkSpec:
     """Look up a registered benchmark by name (raises ``KeyError`` if unknown)."""
     return BENCHMARK_REGISTRY.get(name)
+
+
+#: path -> ((size, mtime_ns), BenchmarkSpec) memo for :func:`imported_benchmark`.
+#: Resolution is eager (parse + transpile) and happens for validation and
+#: expansion alike, so without the memo one ``rescq run file.qasm`` would
+#: parse the file several times.  The stat signature invalidates the entry
+#: whenever the file is rewritten.
+_IMPORT_MEMO: Dict[str, Tuple[Tuple[int, int], BenchmarkSpec]] = {}
+
+
+def imported_benchmark(path: str) -> BenchmarkSpec:
+    """Wrap one OpenQASM 2.0 file as a :class:`BenchmarkSpec`.
+
+    The file is parsed and lowered eagerly, so malformed input fails here —
+    at spec-validation time, with the importer's file:line:column message —
+    rather than inside a worker process.  The spec's name is the path exactly
+    as given (results and cache fingerprints key on it plus the full gate
+    content, so edits to the file are always cache misses).
+    """
+    from ..circuits.qasm import import_qasm_file
+    path = str(path)
+    try:
+        stat = os.stat(path)
+        signature = (stat.st_size, stat.st_mtime_ns)
+    except OSError:
+        signature = None  # let import_qasm_file report the read failure
+    if signature is not None:
+        cached = _IMPORT_MEMO.get(path)
+        if cached is not None and cached[0] == signature:
+            return cached[1]
+    circuit = import_qasm_file(path)
+    circuit.name = path
+    spec = BenchmarkSpec(
+        name=path,
+        suite="imported",
+        num_qubits=circuit.num_qubits,
+        paper_rz=0,
+        paper_cnot=0,
+        builder=circuit.copy,
+    )
+    if signature is not None:
+        _IMPORT_MEMO[path] = (signature, spec)
+    return spec
+
+
+def resolve_benchmark(name: str) -> BenchmarkSpec:
+    """Resolve any benchmark reference accepted by specs and the CLI.
+
+    Three reference forms are recognised, tried in order:
+
+    1. a registered benchmark name (Table 3 rows, user registrations and the
+       curated ``scenario:...`` instances);
+    2. a dynamic ``scenario:<family>[:key=value,...]`` generator name (see
+       :mod:`repro.workloads.scenarios`);
+    3. a path to an OpenQASM 2.0 file (anything ending in ``.qasm``).
+
+    Raises an actionable error: :class:`ScenarioError` for bad scenario
+    names, :class:`~repro.circuits.qasm.QasmImportError` for unreadable or
+    malformed files and :class:`~repro.api.registry.UnknownEntryError`
+    otherwise.  All three are ``ValueError``/``KeyError`` subclasses, so
+    spec validation can report them uniformly.
+    """
+    if name in BENCHMARK_REGISTRY:
+        return BENCHMARK_REGISTRY.get(name)
+    if name.startswith("scenario:"):
+        from .scenarios import scenario_benchmark
+        return scenario_benchmark(name)
+    if name.endswith(".qasm"):
+        return imported_benchmark(name)
+    if os.path.sep in name or name.endswith((".inc", ".txt", ".json")):
+        raise UnknownEntryError(
+            f"benchmark {name!r} looks like a file path but only .qasm "
+            f"files can be imported"
+        )
+    raise UnknownEntryError(
+        f"unknown benchmark {name!r}; known: {BENCHMARK_REGISTRY.names()}. "
+        f"A benchmark may also be a 'scenario:<family>:key=value,...' "
+        f"generator name or a path to an OpenQASM 2.0 file (*.qasm)"
+    )
 
 
 def representative_benchmarks(fast: bool = False) -> List[BenchmarkSpec]:

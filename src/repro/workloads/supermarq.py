@@ -11,8 +11,7 @@ These reproduce the structure of the SupermarQ suite rows in Table 3:
 
 from __future__ import annotations
 
-import math
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Tuple
 
 import numpy as np
 

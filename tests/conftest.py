@@ -2,11 +2,10 @@
 
 from __future__ import annotations
 
-import math
 
 import pytest
 
-from repro import SimulationConfig, default_layout
+from repro import SimulationConfig
 from repro.circuits import Circuit
 from repro.fabric import StarVariant, star_layout
 from repro.scheduling import AutoBraidScheduler, GreedyScheduler, RescqScheduler

@@ -1,7 +1,6 @@
 """Tests for the declarative experiment API (repro.api)."""
 
 import json
-import warnings
 
 import pytest
 from hypothesis import HealthCheck, given, settings

@@ -4,7 +4,7 @@ import math
 
 import pytest
 
-from repro.circuits import Circuit, Gate, GateType, barrier, cnot, h, rz, x
+from repro.circuits import Circuit, GateType, barrier, cnot, rz
 
 
 class TestConstruction:

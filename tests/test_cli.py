@@ -145,3 +145,141 @@ class TestExpCommand:
         out = capsys.readouterr().out
         assert "mst-period sweep for VQE_n13" in out
         assert "mst_period" in out
+
+
+class TestGenCommand:
+    def test_gen_list_prints_families(self, capsys):
+        assert main(["gen", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "clifford_t" in out and "congestion" in out
+        assert "t_density" in out
+
+    def test_gen_without_family_errors(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["gen"])
+        assert "--list" in str(excinfo.value)
+
+    def test_gen_emits_qasm_to_stdout(self, capsys):
+        assert main(["gen", "clifford_t", "--set", "n=4", "--set", "depth=3",
+                     "--seed", "2"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("OPENQASM 2.0;")
+        assert "qreg q[4];" in out
+
+    def test_gen_is_deterministic(self, capsys):
+        argv = ["gen", "clifford_rz", "--set", "n=5", "--set", "depth=4",
+                "--seed", "3"]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        assert capsys.readouterr().out == first
+
+    def test_gen_artifact_format(self, capsys):
+        assert main(["gen", "clifford_t", "--set", "n=4", "--set", "depth=2",
+                     "--format", "artifact"]) == 0
+        out = capsys.readouterr().out
+        assert out.splitlines()[0].isdigit()
+
+    def test_gen_writes_file_and_run_consumes_it(self, tmp_path, capsys):
+        path = tmp_path / "scenario.qasm"
+        assert main(["gen", "congestion", "--set", "n=6", "--set", "layers=2",
+                     "--out", str(path), "--stats"]) == 0
+        captured = capsys.readouterr()
+        assert f"wrote {path}" in captured.out
+        assert "rz_per_cnot" in captured.err  # --stats table goes to stderr
+        assert main(["run", str(path), "--schedulers", "rescq",
+                     "--seeds", "1"]) == 0
+        run_out = capsys.readouterr().out
+        assert "mean_cycles" in run_out
+
+    def test_gen_stats_keeps_stdout_a_valid_circuit(self, capsys):
+        assert main(["gen", "clifford_t", "--set", "n=4", "--set", "depth=2",
+                     "--stats"]) == 0
+        captured = capsys.readouterr()
+        from repro.circuits import from_qasm
+        assert len(from_qasm(captured.out)) > 0  # stdout parses cleanly
+        assert "rz_per_cnot" in captured.err
+
+    def test_gen_seed_flag_conflicts_with_set_seed(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["gen", "clifford_t", "--set", "seed=1", "--seed", "2"])
+        assert "use one" in str(excinfo.value)
+
+    @pytest.mark.parametrize("argv,needle", [
+        (["gen", "warp_core"], "unknown scenario family"),
+        (["gen", "clifford_t", "--set", "depth"], "KEY=VALUE"),
+        (["gen", "clifford_t", "--set", "n=0"], ">= 2"),
+        (["gen", "clifford_t", "--set", "t_density=2"], "<= 1.0"),
+        (["gen", "clifford_t", "--set", "n=2", "--set", "n=3"], "twice"),
+        (["gen", "clifford_t", "--set", "warp=1"], "no parameter"),
+    ])
+    def test_gen_invalid_parameters_error(self, argv, needle):
+        with pytest.raises(SystemExit) as excinfo:
+            main(argv)
+        assert needle in str(excinfo.value)
+
+
+class TestRunErrorPaths:
+    def test_run_scenario_benchmark(self, capsys):
+        assert main(["run", "scenario:clifford_t:n=5,depth=3,seed=1",
+                     "--schedulers", "greedy", "--seeds", "1"]) == 0
+        assert "mean_cycles" in capsys.readouterr().out
+
+    def test_run_malformed_qasm_reports_position(self, tmp_path):
+        path = tmp_path / "broken.qasm"
+        path.write_text("OPENQASM 2.0;\nqreg q[1];\nif (c==1) x q[0];\n")
+        with pytest.raises(SystemExit) as excinfo:
+            main(["run", str(path)])
+        message = str(excinfo.value)
+        assert "broken.qasm:3" in message
+        assert "classical" in message
+
+    def test_run_missing_qasm_file_errors(self, tmp_path):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["run", str(tmp_path / "absent.qasm")])
+        assert "cannot read" in str(excinfo.value)
+
+    def test_run_bad_scenario_errors(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["run", "scenario:clifford_t:n=1"])
+        assert ">= 2" in str(excinfo.value)
+
+
+class TestProcessExitCodes:
+    """The satellite contract: error paths exit non-zero with stderr text."""
+
+    def run_cli(self, *argv):
+        import os
+        import subprocess
+        import sys
+        repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        env = dict(os.environ)
+        env["PYTHONPATH"] = (os.path.join(repo_root, "src")
+                             + os.pathsep + env.get("PYTHONPATH", ""))
+        return subprocess.run(
+            [sys.executable, "-m", "repro", *argv],
+            capture_output=True, text=True, env=env, cwd=repo_root)
+
+    def test_malformed_qasm_input(self, tmp_path):
+        path = tmp_path / "broken.qasm"
+        path.write_text("OPENQASM 2.0;\nqreg q[2];\nreset q[0];\n")
+        proc = self.run_cli("run", str(path))
+        assert proc.returncode == 1
+        assert "broken.qasm:3" in proc.stderr
+        assert "reset is not supported" in proc.stderr
+
+    def test_unknown_benchmark_name(self):
+        proc = self.run_cli("run", "not_a_benchmark")
+        assert proc.returncode == 1
+        assert "unknown benchmark 'not_a_benchmark'" in proc.stderr
+        assert "scenario:<family>" in proc.stderr
+
+    def test_invalid_gen_parameters(self):
+        proc = self.run_cli("gen", "clifford_t", "--set", "depth=-3")
+        assert proc.returncode == 1
+        assert "must be >= 1" in proc.stderr
+
+    def test_invalid_gen_choice_uses_argparse_exit_code(self):
+        proc = self.run_cli("gen", "clifford_t", "--format", "midi")
+        assert proc.returncode == 2
+        assert "invalid choice" in proc.stderr

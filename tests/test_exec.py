@@ -84,6 +84,25 @@ class TestSimJob:
         assert base.fingerprint() not in fingerprints
         assert len(fingerprints) == len(variants)
 
+    def test_fingerprint_sees_barriers(self):
+        from repro.circuits import Circuit, barrier as make_barrier
+
+        def build(with_barrier):
+            circuit = Circuit(2, name="fenced")
+            circuit.h(0)
+            if with_barrier:
+                circuit.append(make_barrier())
+            circuit.h(1)
+            return circuit
+
+        plain, fenced = build(False), build(True)
+        layout = default_layout(plain)
+        prints = {job_fingerprint(circuit, RescqScheduler(), FAST, layout, 0)
+                  for circuit in (plain, fenced)}
+        # A barrier changes layer structure (and thus static scheduling), so
+        # circuits differing only by a barrier must not share a cache entry.
+        assert len(prints) == 2
+
     def test_fingerprint_sees_scheduler_parameters(self):
         base = make_jobs(num_seeds=1)[0]
         ablated = SimJob(base.circuit,

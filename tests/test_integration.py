@@ -1,6 +1,5 @@
 """End-to-end integration tests spanning workloads, fabric, schedulers and analysis."""
 
-import pytest
 
 from repro import SimulationConfig, default_layout, geometric_mean
 from repro.analysis import run_execution_comparison

@@ -5,7 +5,6 @@ import pytest
 from repro.fabric import Edge, StarVariant, star_layout
 from repro.lattice import (
     DEFAULT_COSTS,
-    LatticeSurgeryCosts,
     OrientationTracker,
     RoutePlan,
     bfs_ancilla_path,

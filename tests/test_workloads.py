@@ -1,6 +1,5 @@
 """Tests for the Table 3 workload generators and the benchmark registry."""
 
-import math
 
 import pytest
 
