@@ -13,16 +13,15 @@ fans the *entire* grid out at once instead of parallelising one comparison
 cell at a time.  Row order is deterministic: circuits in input order, values
 in input order, schedulers by name.
 
-.. deprecated::
-    The per-axis ``sweep_*`` functions are shims kept for existing callers;
-    use :func:`run_axis_sweep` (axis objects), or — for registered
-    benchmarks — put the axis in an :class:`~repro.api.spec.ExperimentSpec`
-    grid and call :func:`repro.api.run_experiment`.
+The per-axis ``sweep_*`` functions went through a ``DeprecationWarning``
+cycle and are now hard errors naming the replacement: use
+:func:`run_axis_sweep` (axis objects), or — for registered benchmarks — put
+the axis in an :class:`~repro.api.spec.ExperimentSpec` grid and call
+:func:`repro.api.run_experiment`.
 """
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
@@ -93,67 +92,33 @@ def run_axis_sweep(axis, schedulers, circuits: Sequence[Circuit],
     return ResultSet.from_jobs(jobs, results).sweep_rows(axis.parameter)
 
 
-def _axis_shim(axis_name: str, shim_name: str, schedulers,
-               circuits: Sequence[Circuit], values, base: SimulationConfig,
-               seeds: int, engine: Optional[ExecutionEngine]) -> List[SweepRow]:
-    from ..api.axes import get_axis
-    warnings.warn(
-        f"{shim_name} is deprecated; use repro.analysis.run_axis_sweep"
-        f"(\"{axis_name}\", ...) or sweep {axis_name!r} in an "
-        f"ExperimentSpec grid via repro.api.run_experiment",
-        DeprecationWarning, stacklevel=3)
-    return run_axis_sweep(get_axis(axis_name), schedulers, circuits,
-                          values=values, base=base, seeds=seeds, engine=engine)
+def _removed(name: str, axis_name: str):
+    raise RuntimeError(
+        f"{name} was removed after its deprecation cycle; use "
+        f"repro.analysis.run_axis_sweep({axis_name!r}, ...) or sweep "
+        f"{axis_name!r} in an ExperimentSpec grid via "
+        f"repro.api.run_experiment")
 
 
-def sweep_distance(schedulers, circuits: Sequence[Circuit],
-                   distances: Sequence[int] = (5, 7, 9, 11, 13),
-                   physical_error_rate: float = 1e-4,
-                   mst_period: int = 25,
-                   seeds: int = 3,
-                   engine: Optional[ExecutionEngine] = None) -> List[SweepRow]:
-    """Figure 11: sensitivity to the code distance at fixed p. (Deprecated shim.)"""
-    base = SimulationConfig(physical_error_rate=physical_error_rate,
-                            mst_period=mst_period)
-    return _axis_shim("distance", "sweep_distance", schedulers, circuits,
-                      list(distances), base, seeds, engine)
+def sweep_distance(*args, **kwargs):
+    """Removed (Figure 11 distance sweep).  Use :func:`run_axis_sweep`
+    with the ``"distance"`` axis or an ExperimentSpec grid."""
+    _removed("sweep_distance", "distance")
 
 
-def sweep_error_rate(schedulers, circuits: Sequence[Circuit],
-                     error_rates: Sequence[float] = (1e-3, 3e-4, 1e-4, 3e-5, 1e-5),
-                     distance: int = 7,
-                     mst_period: int = 25,
-                     seeds: int = 3,
-                     engine: Optional[ExecutionEngine] = None) -> List[SweepRow]:
-    """Figure 12: sensitivity to the physical qubit error rate at fixed d. (Deprecated shim.)"""
-    base = SimulationConfig(distance=distance, mst_period=mst_period)
-    return _axis_shim("error-rate", "sweep_error_rate", schedulers, circuits,
-                      list(error_rates), base, seeds, engine)
+def sweep_error_rate(*args, **kwargs):
+    """Removed (Figure 12 error-rate sweep).  Use :func:`run_axis_sweep`
+    with the ``"error-rate"`` axis or an ExperimentSpec grid."""
+    _removed("sweep_error_rate", "error-rate")
 
 
-def sweep_mst_period(schedulers, circuits: Sequence[Circuit],
-                     periods: Sequence[int] = (25, 50, 100, 200),
-                     distance: int = 7,
-                     physical_error_rate: float = 1e-4,
-                     seeds: int = 3,
-                     engine: Optional[ExecutionEngine] = None) -> List[SweepRow]:
-    """Figure 13: RESCQ's sensitivity to the MST recomputation period k. (Deprecated shim.)"""
-    base = SimulationConfig(distance=distance,
-                            physical_error_rate=physical_error_rate)
-    return _axis_shim("mst-period", "sweep_mst_period", schedulers, circuits,
-                      list(periods), base, seeds, engine)
+def sweep_mst_period(*args, **kwargs):
+    """Removed (Figure 13 MST-period sweep).  Use :func:`run_axis_sweep`
+    with the ``"mst-period"`` axis or an ExperimentSpec grid."""
+    _removed("sweep_mst_period", "mst-period")
 
 
-def sweep_compression(schedulers, circuits: Sequence[Circuit],
-                      compressions: Sequence[float] = (0.0, 0.25, 0.5, 0.75, 1.0),
-                      distance: int = 7,
-                      physical_error_rate: float = 1e-4,
-                      mst_period: int = 25,
-                      seeds: int = 3,
-                      engine: Optional[ExecutionEngine] = None) -> List[SweepRow]:
-    """Figure 14: sensitivity to the ancilla availability (grid compression). (Deprecated shim.)"""
-    base = SimulationConfig(distance=distance,
-                            physical_error_rate=physical_error_rate,
-                            mst_period=mst_period)
-    return _axis_shim("compression", "sweep_compression", schedulers, circuits,
-                      list(compressions), base, seeds, engine)
+def sweep_compression(*args, **kwargs):
+    """Removed (Figure 14 compression sweep).  Use :func:`run_axis_sweep`
+    with the ``"compression"`` axis or an ExperimentSpec grid."""
+    _removed("sweep_compression", "compression")

@@ -16,7 +16,10 @@ serializable artifact plus a handful of pluggable registries:
   every experiment returns (``filter`` / ``group_by`` / ``aggregate`` /
   ``to_csv`` / ``to_json``);
 * :mod:`repro.api.facade` — :func:`run_experiment` and the engine builder
-  shared by the CLI and the benchmark harnesses.
+  shared by the CLI and the benchmark harnesses;
+* :mod:`repro.api.envelope` — the ``rescq serve`` wire format:
+  :class:`SubmissionEnvelope` (a spec plus delivery options),
+  :class:`JobStatus` and :class:`SubmissionReport`.
 
 Quickstart::
 
@@ -56,12 +59,18 @@ _EXPORTS = {
     "run_experiment": "facade",
     "build_engine": "facade",
     "render_experiment": "facade",
+    "EnvelopeError": "envelope",
+    "JobStatus": "envelope",
+    "SubmissionEnvelope": "envelope",
+    "SubmissionReport": "envelope",
 }
 
 __all__ = sorted(_EXPORTS)
 
 if TYPE_CHECKING:  # pragma: no cover - static importers only
     from .axes import SweepAxis
+    from .envelope import (EnvelopeError, JobStatus, SubmissionEnvelope,
+                           SubmissionReport)
     from .facade import build_engine, render_experiment, run_experiment
     from .registries import BENCHMARKS, LAYOUTS, SCHEDULERS, SWEEP_AXES
     from .registry import (DuplicateEntryError, Registry, RegistryError,

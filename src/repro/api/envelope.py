@@ -1,0 +1,154 @@
+"""The service wire format: submission envelopes and job-status records.
+
+``rescq serve`` accepts an :class:`~repro.api.spec.ExperimentSpec` over
+HTTP.  The body may be the bare spec JSON (so committed spec files POST
+directly: ``curl --data-binary @examples/headline.json ...``) or an
+envelope that wraps the spec with delivery options::
+
+    {
+      "spec": { "name": "fig10-headline", "benchmarks": ["VQE_n13"], ... },
+      "request_id": "ci-e2e-1",
+      "include_status": true
+    }
+
+``include_status`` asks the server to attach a per-row :class:`JobStatus`
+(fingerprint + resolution source) to the NDJSON stream.  It defaults to
+off so that repeated submissions of the same spec produce byte-identical
+row streams — the property the service e2e test pins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional
+
+from .spec import ExperimentSpec, SpecValidationError
+
+__all__ = ["EnvelopeError", "JobStatus", "SubmissionEnvelope",
+           "SubmissionReport"]
+
+
+class EnvelopeError(ValueError):
+    """A submission payload does not describe a runnable request."""
+
+
+@dataclass(frozen=True)
+class SubmissionEnvelope:
+    """One experiment submission: the spec plus delivery options."""
+
+    spec: ExperimentSpec
+    request_id: Optional[str] = None
+    include_status: bool = False
+
+    _KEYS = ("spec", "request_id", "include_status")
+
+    @classmethod
+    def from_payload(cls, payload: Mapping) -> "SubmissionEnvelope":
+        """Accept either a bare spec object or a full envelope."""
+        if not isinstance(payload, Mapping):
+            raise EnvelopeError(
+                f"submission must be a JSON object (a spec or an envelope "
+                f"with a 'spec' key), got {type(payload).__name__}")
+        try:
+            if "spec" not in payload:
+                return cls(spec=ExperimentSpec.from_dict(payload))
+            unknown = sorted(set(payload) - set(cls._KEYS))
+            if unknown:
+                raise EnvelopeError(
+                    f"unknown envelope keys {unknown}; accepted keys: "
+                    f"{sorted(cls._KEYS)}")
+            request_id = payload.get("request_id")
+            if request_id is not None and not isinstance(request_id, str):
+                raise EnvelopeError(
+                    f"request_id must be a string, got {request_id!r}")
+            include_status = payload.get("include_status", False)
+            if not isinstance(include_status, bool):
+                raise EnvelopeError(
+                    f"include_status must be a boolean, "
+                    f"got {include_status!r}")
+            return cls(spec=ExperimentSpec.from_dict(payload["spec"]),
+                       request_id=request_id,
+                       include_status=include_status)
+        except SpecValidationError as exc:
+            raise EnvelopeError(str(exc)) from None
+
+    def to_dict(self) -> Dict[str, object]:
+        payload: Dict[str, object] = {"spec": self.spec.to_dict()}
+        if self.request_id is not None:
+            payload["request_id"] = self.request_id
+        if self.include_status:
+            payload["include_status"] = True
+        return payload
+
+
+@dataclass(frozen=True)
+class JobStatus:
+    """How one planned job was resolved by the service."""
+
+    #: Resolution sources: executed fresh, served from the result cache, or
+    #: joined onto an identical in-flight execution.
+    SOURCES = ("executed", "cache", "deduped")
+
+    fingerprint: str = ""
+    benchmark: str = ""
+    scheduler: str = ""
+    seed: int = 0
+    params: Dict[str, object] = field(default_factory=dict)
+    source: str = "executed"
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "fingerprint": self.fingerprint,
+            "benchmark": self.benchmark,
+            "scheduler": self.scheduler,
+            "seed": self.seed,
+            "params": dict(self.params),
+            "source": self.source,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "JobStatus":
+        return cls(
+            fingerprint=str(payload.get("fingerprint", "")),
+            benchmark=str(payload.get("benchmark", "")),
+            scheduler=str(payload.get("scheduler", "")),
+            seed=int(payload.get("seed", 0)),
+            params=dict(payload.get("params", {})),
+            source=str(payload.get("source", "executed")),
+        )
+
+
+@dataclass(frozen=True)
+class SubmissionReport:
+    """The trailing summary record of one NDJSON response stream."""
+
+    name: str
+    jobs: int
+    executed: int
+    cache_hits: int
+    deduped: int
+    request_id: Optional[str] = None
+
+    def to_dict(self) -> Dict[str, object]:
+        payload: Dict[str, object] = {
+            "type": "summary",
+            "name": self.name,
+            "jobs": self.jobs,
+            "executed": self.executed,
+            "cache_hits": self.cache_hits,
+            "deduped": self.deduped,
+        }
+        if self.request_id is not None:
+            payload["request_id"] = self.request_id
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "SubmissionReport":
+        return cls(
+            name=str(payload.get("name", "")),
+            jobs=int(payload.get("jobs", 0)),
+            executed=int(payload.get("executed", 0)),
+            cache_hits=int(payload.get("cache_hits", 0)),
+            deduped=int(payload.get("deduped", 0)),
+            request_id=payload.get("request_id"),
+        )

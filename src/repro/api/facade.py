@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from typing import List, Optional
 
-from ..exec.cache import ResultCache
+from ..exec.cache import open_cache_backend
 from ..exec.engine import ExecutionEngine
 from ..exec.executors import ParallelExecutor, SerialExecutor
 from .resultset import ResultSet
@@ -20,12 +20,15 @@ __all__ = ["run_experiment", "build_engine", "render_experiment"]
 
 def build_engine(jobs: int = 1, cache: Optional[str] = None,
                  ) -> ExecutionEngine:
-    """Build an execution engine from the common (jobs, cache-dir) knobs.
+    """Build an execution engine from the common (jobs, cache) knobs.
 
     ``jobs > 1`` fans simulation jobs out over that many worker processes
-    (``0`` means one per CPU); ``cache`` memoises finished jobs on disk.
-    This is the builder behind the CLI's ``--jobs``/``--cache`` flags and the
-    benchmark harnesses' ``RESCQ_JOBS``/``RESCQ_CACHE`` variables.
+    (``0`` means one per CPU); ``cache`` memoises finished jobs on disk —
+    a directory path for the file backend, or a ``*.sqlite`` path /
+    ``sqlite:`` spec for the SQLite backend (see
+    :func:`repro.exec.open_cache_backend`).  This is the builder behind the
+    CLI's ``--jobs``/``--cache`` flags and the benchmark harnesses'
+    ``RESCQ_JOBS``/``RESCQ_CACHE`` variables.
     """
     if jobs < 0:
         raise ValueError("jobs must be >= 0 (0 = one worker per CPU)")
@@ -34,7 +37,7 @@ def build_engine(jobs: int = 1, cache: Optional[str] = None,
     else:
         executor = ParallelExecutor(max_workers=jobs if jobs > 0 else None)
     return ExecutionEngine(executor=executor,
-                           cache=ResultCache(cache) if cache else None)
+                           cache=open_cache_backend(cache) if cache else None)
 
 
 def run_experiment(spec: ExperimentSpec,

@@ -21,7 +21,6 @@ Typical use::
 
 from __future__ import annotations
 
-import json
 import statistics
 from dataclasses import dataclass, field
 from typing import (
@@ -335,18 +334,23 @@ class ResultSet:
 
     def to_json(self, indent: Optional[int] = 2,
                 include_traces: bool = False) -> str:
-        """Serialise the set as JSON (seed-level rows).
+        """Serialise the set as canonical JSON (seed-level rows).
 
-        With ``include_traces=True`` every row also embeds the full
-        per-gate trace dump of :func:`repro.analysis.export.result_to_dict`.
+        Canonical means sorted keys, shortest-round-trip float repr and
+        NaN/Infinity rejection, so two runs that measured the same points
+        always export byte-identical documents — the property the service
+        e2e test and cross-host cache keys rely on.  With
+        ``include_traces=True`` every row also embeds the full per-gate
+        trace dump of :func:`repro.analysis.export.result_to_dict`.
         """
+        from ..canonical import canonical_dumps
         rows = self.summary_rows()
         if include_traces:
             from ..analysis.export import result_to_dict
             for row, record in zip(rows, self.rows):
                 if record.result is not None:
                     row["result"] = result_to_dict(record.result)
-        return json.dumps(rows, indent=indent)
+        return canonical_dumps(rows, indent=indent)
 
     def to_csv(self) -> str:
         """Serialise the set as CSV (seed-level rows, union of columns)."""

@@ -30,6 +30,7 @@ import json
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Tuple, Union
 
+from ..canonical import canonical_dumps
 from ..scheduling import DEFAULT_SCHEDULER_NAMES
 from ..sim.config import SimulationConfig
 
@@ -276,7 +277,18 @@ class ExperimentSpec:
         return cls(**dict(payload))
 
     def to_json(self, indent: Optional[int] = 2) -> str:
-        return json.dumps(self.to_dict(), indent=indent)
+        """Canonical JSON form: sorted keys, stable floats, NaN rejected.
+
+        Two equal specs always serialise to identical bytes (and hence the
+        same :meth:`content_hash`), which is what makes spec files diffable
+        artifacts and cache keys stable across hosts.
+        """
+        return canonical_dumps(self.to_dict(), indent=indent)
+
+    def content_hash(self) -> str:
+        """SHA-256 over the spec's canonical JSON — its cross-host identity."""
+        from ..canonical import content_hash
+        return content_hash(self.to_dict())
 
     @classmethod
     def from_json(cls, text: str) -> "ExperimentSpec":

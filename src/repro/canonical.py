@@ -1,0 +1,89 @@
+"""Canonical JSON: the byte-stable serialisation behind cache keys and artifacts.
+
+Caching across hosts — and auditing the artifacts a run leaves behind —
+requires that the *same* logical value always serialises to the *same*
+bytes.  Plain ``json.dumps`` almost gives that, but leaves three holes this
+module closes:
+
+* **key order** — dict insertion order leaks into the output; canonical JSON
+  always sorts keys;
+* **non-finite floats** — ``NaN``/``Infinity`` are emitted as bare tokens
+  that are not JSON at all, compare unequal to themselves, and poison any
+  content hash; canonical JSON rejects them with a path-qualified error;
+* **negative zero** — ``-0.0`` and ``0.0`` are equal in Python but serialise
+  differently; canonical JSON normalises to ``0.0``.
+
+Finite floats rely on ``repr``'s shortest-round-trip algorithm (stable on
+every CPython >= 3.1, on every platform), so a fingerprint computed on one
+host matches the fingerprint computed on another.  This is the first slice
+of the ROADMAP's canonical, auditable run artifacts: ``ExperimentSpec`` and
+``ResultSet`` serialisation, job fingerprints and both cache backends all
+write through :func:`canonical_dumps`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+from typing import Optional
+
+__all__ = ["CanonicalizationError", "canonical_dumps", "content_hash"]
+
+
+class CanonicalizationError(ValueError):
+    """A value cannot be canonically serialised (e.g. contains NaN)."""
+
+
+def _scrub(value, path: str):
+    """Validate and normalise ``value`` for canonical serialisation.
+
+    Returns a structure in which every float is finite (with ``-0.0``
+    normalised to ``0.0``) and every mapping key is a string; raises
+    :class:`CanonicalizationError` naming the offending path otherwise.
+    """
+    if isinstance(value, bool) or value is None or isinstance(value, (int, str)):
+        return value
+    if isinstance(value, float):
+        if not math.isfinite(value):
+            raise CanonicalizationError(
+                f"non-finite float {value!r} at {path}; canonical JSON "
+                f"rejects NaN/Infinity — filter or replace the value before "
+                f"serialising")
+        return 0.0 if value == 0.0 else value
+    if isinstance(value, dict):
+        scrubbed = {}
+        for key, item in value.items():
+            if not isinstance(key, str):
+                raise CanonicalizationError(
+                    f"non-string key {key!r} at {path}; canonical JSON "
+                    f"object keys must be strings")
+            scrubbed[key] = _scrub(item, f"{path}.{key}")
+        return scrubbed
+    if isinstance(value, (list, tuple)):
+        return [_scrub(item, f"{path}[{index}]")
+                for index, item in enumerate(value)]
+    raise CanonicalizationError(
+        f"value {value!r} of type {type(value).__name__} at {path} is not "
+        f"JSON-serialisable; convert it to plain data first")
+
+
+def canonical_dumps(value, indent: Optional[int] = None) -> str:
+    """Serialise ``value`` as canonical JSON.
+
+    Keys sorted, NaN/Infinity rejected (with the path to the offending
+    value), ``-0.0`` normalised, ASCII-only output, compact separators when
+    ``indent`` is ``None``.  Two equal values always produce identical
+    bytes — the property every cache fingerprint and artifact hash relies
+    on.
+    """
+    scrubbed = _scrub(value, "$")
+    separators = (",", ": ") if indent is not None else (",", ":")
+    return json.dumps(scrubbed, sort_keys=True, allow_nan=False,
+                      indent=indent, separators=separators)
+
+
+def content_hash(value) -> str:
+    """SHA-256 hex digest of ``value``'s canonical JSON serialisation."""
+    text = canonical_dumps(value)
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()

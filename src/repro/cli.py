@@ -24,6 +24,15 @@ Subcommands
     ``rescq exp examples/headline.json``.
 ``prep``
     Print the Figure 16 preparation-statistics table.
+``serve``
+    Run the sharded experiment service: an HTTP endpoint that accepts
+    :class:`~repro.api.spec.ExperimentSpec` JSON on ``POST /experiments``
+    and streams results back as NDJSON, deduplicating identical jobs
+    against a shared result cache and across concurrent requests.
+``cache``
+    Inspect or maintain a result cache: ``stats``, ``gc --older-than AGE``
+    and ``verify`` work uniformly over both the directory and the SQLite
+    backend.
 
 ``run`` and ``sweep`` are thin spec builders: each constructs the equivalent
 :class:`~repro.api.spec.ExperimentSpec` and executes it through
@@ -37,6 +46,7 @@ table, and the table itself is byte-identical for every ``--jobs`` value.
 from __future__ import annotations
 
 import argparse
+import sqlite3
 import sys
 from typing import List, Optional, Sequence
 
@@ -134,6 +144,39 @@ def build_parser() -> argparse.ArgumentParser:
     prep_parser = sub.add_parser("prep", help="Figure 16 preparation statistics")
     prep_parser.add_argument("--distances", default="5,7,9,11,13")
     prep_parser.add_argument("--error-rates", default="1e-3,1e-4,1e-5")
+
+    serve_parser = sub.add_parser(
+        "serve", help="run the HTTP experiment service")
+    serve_parser.add_argument("--host", default="127.0.0.1")
+    serve_parser.add_argument("--port", type=int, default=8765,
+                              help="TCP port (0 picks a free port)")
+    serve_parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                              help="worker processes (default: CPU count)")
+    serve_parser.add_argument("--cache", default=None, metavar="PATH",
+                              help="shared result cache: a directory, a "
+                                   "*.sqlite/*.db file, or an explicit "
+                                   "dir:PATH / sqlite:PATH spec")
+    serve_parser.add_argument("--job-timeout", type=float, default=None,
+                              metavar="SECONDS",
+                              help="kill a single simulation after this many "
+                                   "seconds (default: no limit)")
+    serve_parser.add_argument("--max-attempts", type=int, default=2,
+                              help="tries a job gets when its worker process "
+                                   "dies mid-run (default: 2)")
+
+    cache_parser = sub.add_parser(
+        "cache", help="inspect or maintain a result cache")
+    cache_parser.add_argument("action", choices=("stats", "gc", "verify"),
+                              help="stats: entry/byte counts; gc: delete old "
+                                   "entries; verify: integrity-check every "
+                                   "entry (exit 1 if corrupt)")
+    cache_parser.add_argument("path",
+                              help="cache location: a directory, a "
+                                   "*.sqlite/*.db file, or an explicit "
+                                   "dir:PATH / sqlite:PATH spec")
+    cache_parser.add_argument("--older-than", default=None, metavar="AGE",
+                              help="gc cutoff age, e.g. 45s, 30m, 12h or 7d "
+                                   "(bare numbers are seconds)")
     return parser
 
 
@@ -141,9 +184,11 @@ def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--jobs", type=int, default=1, metavar="N",
                         help="worker processes for simulation jobs "
                              "(default: 1, serial)")
-    parser.add_argument("--cache", default=None, metavar="DIR",
-                        help="directory for the on-disk result cache; "
-                             "repeated runs skip already-measured points")
+    parser.add_argument("--cache", default=None, metavar="PATH",
+                        help="on-disk result cache (a directory, a "
+                             "*.sqlite/*.db file, or dir:PATH / "
+                             "sqlite:PATH); repeated runs skip "
+                             "already-measured points")
 
 
 def _engine_from_args(args: argparse.Namespace) -> ExecutionEngine:
@@ -151,9 +196,8 @@ def _engine_from_args(args: argparse.Namespace) -> ExecutionEngine:
         raise SystemExit("--jobs must be >= 1")
     try:
         return build_engine(jobs=args.jobs, cache=args.cache)
-    except OSError as exc:
-        raise SystemExit(f"--cache {args.cache!r} is not a usable "
-                         f"directory: {exc}")
+    except (OSError, sqlite3.Error) as exc:
+        raise SystemExit(f"--cache {args.cache!r} is not usable: {exc}")
 
 
 def _scheduler_names(names: str) -> List[str]:
@@ -328,6 +372,106 @@ def _command_prep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import signal
+
+    from .exec.cache import open_cache_backend
+    from .service import ExperimentServer, ExperimentService, ServiceExecutor
+
+    if args.jobs is not None and args.jobs < 1:
+        raise SystemExit("--jobs must be >= 1")
+    cache = None
+    if args.cache:
+        try:
+            cache = open_cache_backend(args.cache)
+        except (OSError, sqlite3.Error) as exc:
+            raise SystemExit(f"--cache {args.cache!r} is not usable: {exc}")
+    try:
+        executor = ServiceExecutor(max_workers=args.jobs,
+                                   job_timeout=args.job_timeout,
+                                   max_attempts=args.max_attempts)
+    except ValueError as exc:
+        raise SystemExit(f"serve: {exc}")
+    service = ExperimentService(executor=executor, cache=cache)
+    server = ExperimentServer(service, host=args.host, port=args.port)
+
+    async def _serve() -> None:
+        loop = asyncio.get_event_loop()
+        stop = asyncio.Event()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, stop.set)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass
+        await server.start()
+        print(f"[serve] listening on http://{server.host}:{server.port} "
+              f"({executor.describe()}, cache={args.cache or 'off'})",
+              flush=True)
+        await stop.wait()
+        print("[serve] draining...", flush=True)
+        await server.stop(drain=True)
+        print(f"[serve] stopped; {service.describe()}", flush=True)
+
+    asyncio.run(_serve())
+    return 0
+
+
+def _parse_age(text: str) -> float:
+    """Parse a gc age: bare seconds or a number with an s/m/h/d suffix."""
+    scales = {"s": 1.0, "m": 60.0, "h": 3600.0, "d": 86400.0}
+    scale = 1.0
+    number = text.strip()
+    if number and number[-1].lower() in scales:
+        scale = scales[number[-1].lower()]
+        number = number[:-1]
+    try:
+        seconds = float(number) * scale
+    except ValueError:
+        raise SystemExit(f"cache gc: malformed age {text!r}; use e.g. "
+                         f"45s, 30m, 12h or 7d")
+    if seconds < 0:
+        raise SystemExit(f"cache gc: age must be >= 0, got {text!r}")
+    return seconds
+
+
+def _command_cache(args: argparse.Namespace) -> int:
+    import os.path
+
+    from .exec.cache import open_cache_backend
+
+    location = args.path.partition(":")[2] if args.path.startswith(
+        ("dir:", "sqlite:")) else args.path
+    if not os.path.exists(location):
+        raise SystemExit(f"cache: no cache at {args.path!r}")
+    try:
+        backend = open_cache_backend(args.path)
+    except (OSError, sqlite3.Error) as exc:
+        raise SystemExit(f"cache: cannot open {args.path!r}: {exc}")
+    try:
+        if args.action == "stats":
+            entries = list(backend.entries())
+            total = sum(entry.size_bytes for entry in entries)
+            print(f"[cache] {args.path}: {len(entries)} entries, "
+                  f"{total} bytes")
+            return 0
+        if args.action == "gc":
+            if args.older_than is None:
+                raise SystemExit("cache gc: pass --older-than AGE "
+                                 "(e.g. 45s, 30m, 12h, 7d)")
+            removed = backend.gc(_parse_age(args.older_than))
+            print(f"[cache] {args.path}: removed {removed} entries older "
+                  f"than {args.older_than}")
+            return 0
+        check = backend.verify()
+        print(f"[cache] {args.path}: {check.describe()}")
+        for fingerprint in check.corrupt:
+            print(f"[cache] corrupt: {fingerprint}")
+        return 0 if check.is_healthy else 1
+    finally:
+        backend.close()
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -343,6 +487,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _command_gen(args)
     if args.command == "prep":
         return _command_prep(args)
+    if args.command == "serve":
+        return _command_serve(args)
+    if args.command == "cache":
+        return _command_cache(args)
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover
     return 2
 

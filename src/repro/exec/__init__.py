@@ -10,9 +10,11 @@ makes that explicit:
 * :mod:`repro.exec.executors` — pluggable strategies for running a list of
   jobs: :class:`SerialExecutor` (the deterministic reference) and
   :class:`ParallelExecutor` (a ``ProcessPoolExecutor`` fan-out);
-* :mod:`repro.exec.cache` — :class:`ResultCache`, a JSON-on-disk memo of
-  finished jobs keyed by fingerprint, so repeated sweeps skip
-  already-measured points;
+* :mod:`repro.exec.cache` — the :class:`CacheBackend` protocol and its two
+  concurrent-safe implementations, :class:`DirectoryCache` (write-once
+  JSON files; ``ResultCache`` is its historical alias) and
+  :class:`SQLiteCache` (single file, WAL mode), so repeated sweeps — and
+  concurrent ``rescq serve`` submissions — skip already-measured points;
 * :mod:`repro.exec.engine` — :class:`ExecutionEngine`, which ties an executor
   and an optional cache together and is the object the runner, sweeps, CLI
   (``--jobs`` / ``--cache``) and benchmark harnesses all accept.
@@ -22,7 +24,16 @@ the same job list every executor produces the same list of
 :class:`~repro.sim.results.SimulationResult` objects.
 """
 
-from .cache import CacheStats, ResultCache
+from .cache import (
+    CacheBackend,
+    CacheCheck,
+    CacheEntry,
+    CacheStats,
+    DirectoryCache,
+    ResultCache,
+    SQLiteCache,
+    open_cache_backend,
+)
 from .engine import EngineStats, ExecutionEngine
 from .executors import Executor, ParallelExecutor, SerialExecutor
 from .jobs import SimJob, job_fingerprint, plan_jobs
@@ -34,8 +45,14 @@ __all__ = [
     "Executor",
     "SerialExecutor",
     "ParallelExecutor",
+    "CacheBackend",
+    "CacheEntry",
+    "CacheCheck",
+    "DirectoryCache",
+    "SQLiteCache",
     "ResultCache",
     "CacheStats",
+    "open_cache_backend",
     "ExecutionEngine",
     "EngineStats",
 ]

@@ -1,25 +1,55 @@
-"""On-disk memoisation of finished simulation jobs.
+"""Concurrent-safe result-cache backends keyed by job fingerprint.
 
-The cache is a directory of ``<fingerprint>.json`` files, one per completed
-job, in the same JSON schema as :mod:`repro.analysis.export`.  Fingerprints
-are content hashes of the full job description (see
-:func:`repro.exec.jobs.job_fingerprint`), so a cache survives process
-restarts and can be shared between the CLI, benchmarks and notebooks: any
-sweep that revisits a measured point skips the scheduler run entirely.
+A cache maps a :func:`repro.exec.jobs.job_fingerprint` content hash to a
+finished :class:`~repro.sim.results.SimulationResult`.  Fingerprints are
+stable across interpreter processes and hosts, so a cache can be shared
+between the CLI, benchmarks, notebooks and the ``rescq serve`` experiment
+service: any submission that revisits a measured point skips the scheduler
+run entirely.
+
+Two backends implement the :class:`CacheBackend` protocol:
+
+* :class:`DirectoryCache` — one canonical-JSON file per entry.  Writes are
+  **write-once**: the payload lands in a temp file and is hard-linked into
+  place, so concurrent writers race benignly (exactly one wins, every reader
+  sees either a miss or a complete entry, never a torn file).  Reads are
+  lock-free.
+* :class:`SQLiteCache` — a single SQLite database in WAL mode, safe under
+  concurrent reader/writer *processes*.  Write-once via
+  ``INSERT OR IGNORE``; richer stats/GC/integrity queries come for free
+  from SQL.
+
+:func:`open_cache_backend` picks a backend from a CLI-friendly spec string
+(``.sqlite``/``.db`` suffix or an explicit ``sqlite:``/``dir:`` prefix), so
+every ``--cache`` flag accepts either backend uniformly.
 """
 
 from __future__ import annotations
 
+import abc
 import json
 import os
+import sqlite3
 import tempfile
-from dataclasses import dataclass
+import threading
+import time
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Optional, Union
+from typing import Iterator, List, Optional, Union
 
+from ..canonical import canonical_dumps
 from ..sim.results import SimulationResult
 
-__all__ = ["ResultCache", "CacheStats"]
+__all__ = [
+    "CacheBackend",
+    "CacheEntry",
+    "CacheCheck",
+    "CacheStats",
+    "DirectoryCache",
+    "ResultCache",
+    "SQLiteCache",
+    "open_cache_backend",
+]
 
 
 @dataclass
@@ -34,8 +64,119 @@ class CacheStats:
         return f"hits={self.hits} misses={self.misses} stores={self.stores}"
 
 
-class ResultCache:
-    """A directory-backed ``fingerprint -> SimulationResult`` store."""
+@dataclass(frozen=True)
+class CacheEntry:
+    """One stored result, as reported by :meth:`CacheBackend.entries`."""
+
+    fingerprint: str
+    size_bytes: int
+    stored_at: float  # seconds since the epoch
+
+
+@dataclass
+class CacheCheck:
+    """Outcome of :meth:`CacheBackend.verify`."""
+
+    entries: int = 0
+    ok: int = 0
+    corrupt: List[str] = field(default_factory=list)
+
+    @property
+    def is_healthy(self) -> bool:
+        return not self.corrupt
+
+    def describe(self) -> str:
+        state = "ok" if self.is_healthy else f"CORRUPT({len(self.corrupt)})"
+        return f"entries={self.entries} ok={self.ok} {state}"
+
+
+def _serialise(result: SimulationResult) -> str:
+    # Imported lazily: repro.analysis imports repro.sim, which is still
+    # mid-initialisation when this module first loads.
+    from ..analysis.export import result_to_dict
+    return canonical_dumps(result_to_dict(result))
+
+
+def _deserialise(text: str) -> SimulationResult:
+    from ..analysis.export import result_from_dict
+    return result_from_dict(json.loads(text))
+
+
+class CacheBackend(abc.ABC):
+    """The ``fingerprint -> SimulationResult`` store contract.
+
+    Implementations must be safe under concurrent writers — multiple
+    processes storing the same fingerprint concurrently must leave exactly
+    one complete entry, and readers must never observe a torn entry.  ``put``
+    is write-once: the first store wins and returns ``True``; later stores
+    of the same fingerprint are no-ops returning ``False`` (entries are
+    content-addressed, so "losing" writers were writing identical bytes
+    anyway).
+    """
+
+    stats: CacheStats
+
+    @abc.abstractmethod
+    def get(self, fingerprint: str) -> Optional[SimulationResult]:
+        """Return the cached result for ``fingerprint``, or ``None`` on miss.
+
+        Unreadable or corrupt entries count as misses.
+        """
+
+    @abc.abstractmethod
+    def put(self, fingerprint: str, result: SimulationResult) -> bool:
+        """Store ``result`` under ``fingerprint`` (atomic, write-once).
+
+        Returns ``True`` if this call created the entry, ``False`` if a
+        complete entry already existed.
+        """
+
+    @abc.abstractmethod
+    def __contains__(self, fingerprint: str) -> bool: ...
+
+    @abc.abstractmethod
+    def __len__(self) -> int: ...
+
+    @abc.abstractmethod
+    def entries(self) -> Iterator[CacheEntry]:
+        """Iterate over stored entries (order unspecified)."""
+
+    @abc.abstractmethod
+    def clear(self) -> int:
+        """Delete every entry; returns the number of entries removed."""
+
+    @abc.abstractmethod
+    def gc(self, older_than: float) -> int:
+        """Delete entries stored more than ``older_than`` seconds ago.
+
+        Returns the number of entries removed.
+        """
+
+    @abc.abstractmethod
+    def verify(self) -> CacheCheck:
+        """Check every entry deserialises; report corrupt fingerprints."""
+
+    def close(self) -> None:
+        """Release backend resources (connections, handles).  Idempotent."""
+
+    def size_bytes(self) -> int:
+        """Total payload bytes across entries."""
+        return sum(entry.size_bytes for entry in self.entries())
+
+    @abc.abstractmethod
+    def describe(self) -> str: ...
+
+
+class DirectoryCache(CacheBackend):
+    """A directory of ``<fingerprint>.json`` files, one per completed job.
+
+    Concurrent-writer hardening: payloads are written to a private temp file
+    and hard-linked to the final name, which is atomic and *write-once* on
+    every POSIX filesystem — the first writer creates the entry, later
+    writers see ``EEXIST`` and back off.  Readers open the final name only,
+    so they see either nothing or a complete payload; there is no lock on
+    either path.
+    """
 
     def __init__(self, directory: Union[str, Path]) -> None:
         self.directory = Path(directory)
@@ -46,43 +187,54 @@ class ResultCache:
         return self.directory / f"{fingerprint}.json"
 
     def get(self, fingerprint: str) -> Optional[SimulationResult]:
-        """Return the cached result for ``fingerprint``, or ``None`` on miss.
-
-        Unreadable or corrupt entries count as misses; they are overwritten
-        the next time the job runs.
-        """
-        # Imported lazily: repro.analysis imports repro.sim, which is still
-        # mid-initialisation when this module first loads.
-        from ..analysis.export import result_from_dict
         path = self._path(fingerprint)
         try:
             with open(path, "r", encoding="utf-8") as handle:
-                payload = json.load(handle)
-            result = result_from_dict(payload)
+                result = _deserialise(handle.read())
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
         except (OSError, ValueError, KeyError, TypeError):
+            # Corrupt entry: evict it so the write-once `put` of the re-run
+            # result can land.
+            try:
+                path.unlink()
+            except OSError:
+                pass
             self.stats.misses += 1
             return None
         self.stats.hits += 1
         return result
 
-    def put(self, fingerprint: str, result: SimulationResult) -> None:
-        """Store ``result`` under ``fingerprint`` (atomic write)."""
-        from ..analysis.export import result_to_dict
-        payload = json.dumps(result_to_dict(result), indent=None,
-                             separators=(",", ":"))
+    def put(self, fingerprint: str, result: SimulationResult) -> bool:
+        payload = _serialise(result)
+        target = self._path(fingerprint)
+        if target.exists():
+            return False
         fd, tmp_name = tempfile.mkstemp(dir=str(self.directory),
                                         suffix=".tmp")
         try:
             with os.fdopen(fd, "w", encoding="utf-8") as handle:
                 handle.write(payload)
-            os.replace(tmp_name, self._path(fingerprint))
-        except BaseException:
             try:
-                os.unlink(tmp_name)
+                # Atomic write-once: linking fails iff the entry exists.
+                os.link(tmp_name, target)
+            except FileExistsError:
+                return False
             except OSError:
-                pass
-            raise
+                # Filesystem without hard links: fall back to an atomic
+                # rename (still never torn; last writer wins with identical
+                # bytes, since entries are content-addressed).
+                os.replace(tmp_name, target)
+                tmp_name = None
+        finally:
+            if tmp_name is not None:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
         self.stats.stores += 1
+        return True
 
     def __contains__(self, fingerprint: str) -> bool:
         return self._path(fingerprint).exists()
@@ -90,8 +242,16 @@ class ResultCache:
     def __len__(self) -> int:
         return sum(1 for _ in self.directory.glob("*.json"))
 
+    def entries(self) -> Iterator[CacheEntry]:
+        for path in sorted(self.directory.glob("*.json")):
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            yield CacheEntry(fingerprint=path.stem, size_bytes=stat.st_size,
+                             stored_at=stat.st_mtime)
+
     def clear(self) -> int:
-        """Delete every entry; returns the number of entries removed."""
         removed = 0
         for path in self.directory.glob("*.json"):
             try:
@@ -101,5 +261,193 @@ class ResultCache:
                 pass
         return removed
 
+    def gc(self, older_than: float) -> int:
+        cutoff = time.time() - older_than
+        removed = 0
+        for entry in list(self.entries()):
+            if entry.stored_at < cutoff:
+                try:
+                    self._path(entry.fingerprint).unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed
+
+    def verify(self) -> CacheCheck:
+        check = CacheCheck()
+        for entry in self.entries():
+            check.entries += 1
+            try:
+                with open(self._path(entry.fingerprint), "r",
+                          encoding="utf-8") as handle:
+                    _deserialise(handle.read())
+            except (OSError, ValueError, KeyError, TypeError):
+                check.corrupt.append(entry.fingerprint)
+            else:
+                check.ok += 1
+        return check
+
     def describe(self) -> str:
         return f"cache[{self.directory}] {self.stats.describe()}"
+
+
+#: Historical name for the directory backend, kept for existing callers.
+ResultCache = DirectoryCache
+
+
+class SQLiteCache(CacheBackend):
+    """A single-file SQLite store, safe under concurrent processes.
+
+    WAL journaling lets readers proceed while a writer commits; a generous
+    busy timeout serialises concurrent writers instead of erroring.  Each
+    :class:`SQLiteCache` instance owns one connection guarded by a lock, so
+    an instance may be shared between threads; separate *processes* simply
+    open their own instance against the same path.
+    """
+
+    _SCHEMA = """
+        CREATE TABLE IF NOT EXISTS results (
+            fingerprint TEXT PRIMARY KEY,
+            payload     TEXT NOT NULL,
+            size_bytes  INTEGER NOT NULL,
+            stored_at   REAL NOT NULL
+        )
+    """
+
+    def __init__(self, path: Union[str, Path], timeout: float = 30.0) -> None:
+        self.path = Path(path)
+        if self.path.parent and not self.path.parent.exists():
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.stats = CacheStats()
+        self._lock = threading.RLock()
+        self._conn = sqlite3.connect(str(self.path), timeout=timeout,
+                                     check_same_thread=False)
+        with self._lock:
+            self._conn.execute("PRAGMA journal_mode=WAL")
+            self._conn.execute("PRAGMA synchronous=NORMAL")
+            self._conn.execute(self._SCHEMA)
+            self._conn.commit()
+
+    def get(self, fingerprint: str) -> Optional[SimulationResult]:
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT payload FROM results WHERE fingerprint = ?",
+                (fingerprint,)).fetchone()
+        if row is None:
+            self.stats.misses += 1
+            return None
+        try:
+            result = _deserialise(row[0])
+        except (ValueError, KeyError, TypeError):
+            # Corrupt entry: evict it so the write-once `put` of the re-run
+            # result can land.
+            with self._lock:
+                self._conn.execute(
+                    "DELETE FROM results WHERE fingerprint = ?",
+                    (fingerprint,))
+                self._conn.commit()
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return result
+
+    def put(self, fingerprint: str, result: SimulationResult) -> bool:
+        payload = _serialise(result)
+        with self._lock:
+            cursor = self._conn.execute(
+                "INSERT OR IGNORE INTO results "
+                "(fingerprint, payload, size_bytes, stored_at) "
+                "VALUES (?, ?, ?, ?)",
+                (fingerprint, payload, len(payload.encode("utf-8")),
+                 time.time()))
+            self._conn.commit()
+        stored = cursor.rowcount == 1
+        if stored:
+            self.stats.stores += 1
+        return stored
+
+    def __contains__(self, fingerprint: str) -> bool:
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT 1 FROM results WHERE fingerprint = ?",
+                (fingerprint,)).fetchone()
+        return row is not None
+
+    def __len__(self) -> int:
+        with self._lock:
+            (count,) = self._conn.execute(
+                "SELECT COUNT(*) FROM results").fetchone()
+        return int(count)
+
+    def entries(self) -> Iterator[CacheEntry]:
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT fingerprint, size_bytes, stored_at FROM results "
+                "ORDER BY fingerprint").fetchall()
+        for fingerprint, size_bytes, stored_at in rows:
+            yield CacheEntry(fingerprint=fingerprint,
+                             size_bytes=int(size_bytes),
+                             stored_at=float(stored_at))
+
+    def clear(self) -> int:
+        with self._lock:
+            cursor = self._conn.execute("DELETE FROM results")
+            self._conn.commit()
+        return cursor.rowcount
+
+    def gc(self, older_than: float) -> int:
+        cutoff = time.time() - older_than
+        with self._lock:
+            cursor = self._conn.execute(
+                "DELETE FROM results WHERE stored_at < ?", (cutoff,))
+            self._conn.commit()
+        return cursor.rowcount
+
+    def verify(self) -> CacheCheck:
+        check = CacheCheck()
+        with self._lock:
+            integrity = self._conn.execute(
+                "PRAGMA integrity_check").fetchone()
+        if integrity and integrity[0] != "ok":  # pragma: no cover - disk fault
+            check.corrupt.append(f"<database: {integrity[0]}>")
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT fingerprint, payload FROM results "
+                "ORDER BY fingerprint").fetchall()
+        for fingerprint, payload in rows:
+            check.entries += 1
+            try:
+                _deserialise(payload)
+            except (ValueError, KeyError, TypeError):
+                check.corrupt.append(fingerprint)
+            else:
+                check.ok += 1
+        return check
+
+    def close(self) -> None:
+        with self._lock:
+            self._conn.close()
+
+    def describe(self) -> str:
+        return f"cache[sqlite:{self.path}] {self.stats.describe()}"
+
+
+def open_cache_backend(spec: Union[str, Path, CacheBackend]) -> CacheBackend:
+    """Build a backend from a ``--cache`` spec string.
+
+    ``sqlite:PATH`` and ``dir:PATH`` select a backend explicitly; a bare
+    path ending in ``.sqlite``/``.sqlite3``/``.db`` opens the SQLite
+    backend, anything else the directory backend.  A :class:`CacheBackend`
+    instance passes through unchanged, so programmatic callers can hand a
+    pre-built backend to the same entry points.
+    """
+    if isinstance(spec, CacheBackend):
+        return spec
+    text = str(spec)
+    if text.startswith("sqlite:"):
+        return SQLiteCache(text[len("sqlite:"):])
+    if text.startswith("dir:"):
+        return DirectoryCache(text[len("dir:"):])
+    if text.endswith((".sqlite", ".sqlite3", ".db")):
+        return SQLiteCache(text)
+    return DirectoryCache(text)

@@ -14,10 +14,10 @@ from __future__ import annotations
 import dataclasses
 import enum
 import hashlib
-import json
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Union
 
+from ..canonical import canonical_dumps
 from ..circuits import Circuit
 from ..circuits.textio import to_artifact_format
 from ..fabric.layout import GridLayout
@@ -99,7 +99,11 @@ def job_fingerprint(circuit: Circuit, scheduler: "Scheduler",
         "layout": _layout_descriptor(layout),
         "seed": int(seed),
     }
-    text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    # canonical_dumps == json.dumps(sort_keys=True, compact separators) for
+    # every valid payload, so fingerprints are unchanged from earlier
+    # releases — but a NaN smuggled into a config now fails loudly instead
+    # of silently producing a fingerprint no other host can reproduce.
+    text = canonical_dumps(payload)
     return hashlib.sha256(text.encode("utf-8")).hexdigest()
 
 
@@ -157,8 +161,8 @@ def plan_jobs(schedulers: Sequence["Scheduler"], circuit: Circuit,
               tags: Optional[Dict[str, object]] = None) -> List[SimJob]:
     """Expand one comparison point into its scheduler x seed job list.
 
-    ``seeds`` follows the :func:`repro.sim.runner.run_schedule` convention:
-    an integer means seeds ``0..n-1``, otherwise an explicit sequence.  Jobs
+    ``seeds`` accepts either an integer (meaning seeds ``0..n-1``) or an
+    explicit sequence of seed values.  Jobs
     are emitted scheduler-major with seeds ascending, which is the order every
     executor preserves.  ``tags`` (copied per job) label every emitted job,
     e.g. with the grid-point values an experiment spec expanded.

@@ -1,0 +1,31 @@
+"""repro.service: the sharded experiment service behind ``rescq serve``.
+
+Layers, bottom up:
+
+* :mod:`~repro.service.executor` — a work-stealing process pool with
+  per-job timeouts, bounded retry on worker death, and graceful drain;
+* :mod:`~repro.service.singleflight` — in-flight deduplication so an
+  identical job submitted concurrently runs exactly once;
+* :mod:`~repro.service.service` — cache + single-flight + executor behind
+  one :class:`ExperimentService` object;
+* :mod:`~repro.service.server` — the asyncio HTTP front end (NDJSON
+  streaming, ``/healthz``, ``/stats``).
+"""
+
+from .executor import (JobFailedError, JobTimeoutError, ServiceExecutor,
+                       WorkerCrashError)
+from .server import ExperimentServer
+from .service import ExperimentService, ResolvedJob, ServiceStats
+from .singleflight import SingleFlight
+
+__all__ = [
+    "ExperimentServer",
+    "ExperimentService",
+    "JobFailedError",
+    "JobTimeoutError",
+    "ResolvedJob",
+    "ServiceExecutor",
+    "ServiceStats",
+    "SingleFlight",
+    "WorkerCrashError",
+]

@@ -1,0 +1,269 @@
+"""The asyncio HTTP front end of ``rescq serve``.
+
+A deliberately small HTTP/1.1 implementation on ``asyncio.start_server`` —
+no framework, no new dependencies.  Three routes:
+
+``POST /experiments``
+    Body: an :class:`~repro.api.spec.ExperimentSpec` JSON document or a
+    :class:`~repro.api.envelope.SubmissionEnvelope`.  The response streams
+    NDJSON: one canonical-JSON row per job **in plan order** as results
+    materialise, then one trailing ``{"type": "summary", ...}`` record with
+    the request's executed/cache/dedup counts.  Identical specs submitted
+    twice produce byte-identical row streams (the summary line differs —
+    the second run executes nothing).
+``GET /healthz``
+    Liveness: ``{"status": "ok"}``.
+``GET /stats``
+    The service's cumulative counters, in-flight table size and executor
+    queue depth.
+
+Connections are ``Connection: close`` — each request gets a fresh
+connection, which keeps the framing trivial and streams naturally (the end
+of the response is the end of the stream).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Dict, Optional, Tuple
+
+from ..api.envelope import EnvelopeError, SubmissionEnvelope, SubmissionReport
+from ..api.resultset import ResultRow
+from ..api.spec import SpecValidationError
+from ..canonical import canonical_dumps
+from .service import ExperimentService
+
+__all__ = ["ExperimentServer"]
+
+_MAX_REQUEST_LINE = 8192
+_MAX_HEADERS = 100
+_MAX_BODY = 16 * 1024 * 1024
+
+_STATUS_TEXT = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+}
+
+
+class _HttpError(Exception):
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+class ExperimentServer:
+    """Serve an :class:`ExperimentService` over HTTP."""
+
+    def __init__(self, service: ExperimentService, host: str = "127.0.0.1",
+                 port: int = 8765) -> None:
+        self.service = service
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._handlers: set = set()
+
+    # -- lifecycle -------------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind and start accepting connections; updates ``self.port``.
+
+        The worker pool is warmed before the socket opens so the first
+        request never pays worker start-up latency.
+        """
+        loop = asyncio.get_event_loop()
+        await loop.run_in_executor(None, self.service.executor.start)
+        self._server = await asyncio.start_server(
+            self._on_connection, host=self.host, port=self.port)
+        sockets = self._server.sockets or ()
+        for sock in sockets:
+            self.port = sock.getsockname()[1]
+            break
+
+    async def stop(self, drain: bool = True) -> None:
+        """Stop accepting, finish in-flight requests, drain the executor."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if self._handlers:
+            await asyncio.gather(*list(self._handlers),
+                                 return_exceptions=True)
+        loop = asyncio.get_event_loop()
+        await loop.run_in_executor(None, lambda: self.service.shutdown(drain))
+
+    @property
+    def in_flight_requests(self) -> int:
+        return len(self._handlers)
+
+    # -- connection handling ---------------------------------------------------
+
+    def _on_connection(self, reader: asyncio.StreamReader,
+                       writer: asyncio.StreamWriter) -> None:
+        task = asyncio.ensure_future(self._handle(reader, writer))
+        self._handlers.add(task)
+        task.add_done_callback(self._handlers.discard)
+
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        try:
+            try:
+                method, path, headers = await self._read_head(reader)
+                body = await self._read_body(reader, headers)
+                await self._route(method, path, body, writer)
+            except _HttpError as exc:
+                await self._send_json(writer, exc.status,
+                                      {"error": exc.message})
+            except (asyncio.IncompleteReadError, ConnectionError):
+                pass
+            except Exception as exc:  # noqa: BLE001 - last-resort handler
+                try:
+                    await self._send_json(
+                        writer, 500, {"error": f"internal error: {exc}"})
+                except (ConnectionError, RuntimeError):
+                    pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, RuntimeError):
+                pass
+
+    async def _read_head(self, reader: asyncio.StreamReader
+                         ) -> Tuple[str, str, Dict[str, str]]:
+        line = await reader.readline()
+        if not line:
+            raise _HttpError(400, "empty request")
+        if len(line) > _MAX_REQUEST_LINE:
+            raise _HttpError(400, "request line too long")
+        parts = line.decode("latin-1").strip().split()
+        if len(parts) != 3:
+            raise _HttpError(400, f"malformed request line {line!r}")
+        method, path, _version = parts
+        headers: Dict[str, str] = {}
+        for _ in range(_MAX_HEADERS):
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                return method.upper(), path, headers
+            if len(line) > _MAX_REQUEST_LINE:
+                raise _HttpError(400, "header line too long")
+            name, _sep, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        raise _HttpError(400, "too many headers")
+
+    async def _read_body(self, reader: asyncio.StreamReader,
+                         headers: Dict[str, str]) -> bytes:
+        length_text = headers.get("content-length")
+        if not length_text:
+            return b""
+        try:
+            length = int(length_text)
+        except ValueError:
+            raise _HttpError(400,
+                             f"bad Content-Length {length_text!r}") from None
+        if length < 0 or length > _MAX_BODY:
+            raise _HttpError(413, f"body of {length} bytes exceeds the "
+                                  f"{_MAX_BODY} byte limit")
+        return await reader.readexactly(length)
+
+    # -- routing ---------------------------------------------------------------
+
+    async def _route(self, method: str, path: str, body: bytes,
+                     writer: asyncio.StreamWriter) -> None:
+        path = path.split("?", 1)[0]
+        if path == "/healthz":
+            if method != "GET":
+                raise _HttpError(405, "use GET for /healthz")
+            await self._send_json(writer, 200, {"status": "ok"})
+        elif path == "/stats":
+            if method != "GET":
+                raise _HttpError(405, "use GET for /stats")
+            await self._send_json(writer, 200, self.service.snapshot())
+        elif path in ("/experiments", "/"):
+            if method != "POST":
+                raise _HttpError(
+                    405, "submit an ExperimentSpec with POST /experiments")
+            await self._handle_submission(body, writer)
+        else:
+            raise _HttpError(
+                404, f"unknown path {path!r}; routes: POST /experiments, "
+                     f"GET /healthz, GET /stats")
+
+    # -- submission ------------------------------------------------------------
+
+    async def _handle_submission(self, body: bytes,
+                                 writer: asyncio.StreamWriter) -> None:
+        try:
+            payload = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise _HttpError(400, f"body is not valid JSON: {exc}") from None
+        try:
+            envelope = SubmissionEnvelope.from_payload(payload)
+        except EnvelopeError as exc:
+            raise _HttpError(400, str(exc)) from None
+        loop = asyncio.get_event_loop()
+        try:
+            # Validation + expansion builds circuits and layouts; keep the
+            # event loop responsive (healthz during a huge expansion) by
+            # planning in a thread.
+            jobs = await loop.run_in_executor(
+                None, lambda: envelope.spec.validate().expand())
+        except SpecValidationError as exc:
+            raise _HttpError(400, str(exc)) from None
+
+        resolved = self.service.submit_plan(jobs)
+        await self._send_head(writer, 200,
+                              content_type="application/x-ndjson")
+        for item in resolved:
+            try:
+                result = await asyncio.wrap_future(item.future)
+            except asyncio.CancelledError:
+                raise
+            except Exception as exc:  # noqa: BLE001 - stream the failure
+                record = {"type": "error", "fingerprint": item.fingerprint,
+                          "message": str(exc)}
+                await self._send_line(writer, record)
+                return
+            row = ResultRow(benchmark=item.job.benchmark,
+                            scheduler=item.job.scheduler_name,
+                            seed=item.job.seed,
+                            params=dict(item.job.tags),
+                            result=result).summary()
+            if envelope.include_status:
+                row["status"] = item.status().to_dict()
+            await self._send_line(writer, row)
+        counts = self.service.counts_for(resolved)
+        report = SubmissionReport(name=envelope.spec.name,
+                                  request_id=envelope.request_id,
+                                  **counts)
+        await self._send_line(writer, report.to_dict())
+
+    # -- response writing ------------------------------------------------------
+
+    async def _send_head(self, writer: asyncio.StreamWriter, status: int,
+                         content_type: str,
+                         content_length: Optional[int] = None) -> None:
+        lines = [f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}",
+                 f"Content-Type: {content_type}",
+                 "Connection: close"]
+        if content_length is not None:
+            lines.append(f"Content-Length: {content_length}")
+        writer.write(("\r\n".join(lines) + "\r\n\r\n").encode("latin-1"))
+        await writer.drain()
+
+    async def _send_line(self, writer: asyncio.StreamWriter,
+                         record: Dict[str, object]) -> None:
+        writer.write((canonical_dumps(record) + "\n").encode("utf-8"))
+        await writer.drain()
+
+    async def _send_json(self, writer: asyncio.StreamWriter, status: int,
+                         payload: Dict[str, object]) -> None:
+        body = (canonical_dumps(payload) + "\n").encode("utf-8")
+        await self._send_head(writer, status, "application/json",
+                              content_length=len(body))
+        writer.write(body)
+        await writer.drain()

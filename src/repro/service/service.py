@@ -1,0 +1,186 @@
+"""ExperimentService: cache + single-flight + executor, behind one object.
+
+This is the HTTP-free heart of ``rescq serve``: it takes an expanded
+:class:`~repro.exec.jobs.SimJob` plan and resolves every job to a future
+through three layers —
+
+1. **single-flight** — an identical job already running (submitted by this
+   or any concurrent request) is joined, not re-executed;
+2. **cache** — a finished identical job is returned straight from the
+   :class:`~repro.exec.cache.CacheBackend`;
+3. **executor** — everything else is fanned out over the work-stealing
+   :class:`~repro.service.executor.ServiceExecutor` and stored back into
+   the cache on completion.
+
+The result: submitting the same :class:`~repro.api.spec.ExperimentSpec` N
+times — sequentially or concurrently — executes each unique simulation
+point exactly once.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..api.envelope import JobStatus
+from ..exec.cache import CacheBackend
+from .executor import ServiceExecutor
+from .singleflight import SingleFlight
+
+__all__ = ["ExperimentService", "ResolvedJob", "ServiceStats"]
+
+
+@dataclass
+class ServiceStats:
+    """Cumulative accounting over the service's lifetime."""
+
+    requests: int = 0
+    jobs: int = 0
+    executed: int = 0
+    cache_hits: int = 0
+    deduped: int = 0
+    errors: int = 0
+
+    def describe(self) -> str:
+        return (f"requests={self.requests} jobs={self.jobs} "
+                f"executed={self.executed} cache_hits={self.cache_hits} "
+                f"deduped={self.deduped} errors={self.errors}")
+
+
+@dataclass(frozen=True)
+class ResolvedJob:
+    """One planned job, its resolution source, and the future of its result."""
+
+    job: object  # SimJob
+    fingerprint: str
+    source: str  # one of JobStatus.SOURCES
+    future: "Future"
+
+    def status(self) -> JobStatus:
+        return JobStatus(
+            fingerprint=self.fingerprint,
+            benchmark=self.job.benchmark,
+            scheduler=self.job.scheduler_name,
+            seed=self.job.seed,
+            params=dict(self.job.tags),
+            source=self.source,
+        )
+
+
+class ExperimentService:
+    """Deduplicating, cache-backed job resolution for the experiment server."""
+
+    def __init__(self, executor: Optional[ServiceExecutor] = None,
+                 cache: Optional[CacheBackend] = None) -> None:
+        self.executor = executor or ServiceExecutor()
+        self.cache = cache
+        self.singleflight = SingleFlight()
+        self.stats = ServiceStats()
+        self._stats_lock = threading.Lock()
+
+    # -- resolution ------------------------------------------------------------
+
+    def resolve(self, job) -> ResolvedJob:
+        """Resolve one job through single-flight, cache, then the executor.
+
+        Thread-safe; never blocks on the simulation itself (the returned
+        future materialises the result).
+        """
+        key = job.fingerprint()
+        leader, flight = self.singleflight.begin(key)
+        if not leader:
+            with self._stats_lock:
+                self.stats.deduped += 1
+            return ResolvedJob(job=job, fingerprint=key, source="deduped",
+                               future=flight)
+        if self.cache is not None:
+            cached = self.cache.get(key)
+            if cached is not None:
+                with self._stats_lock:
+                    self.stats.cache_hits += 1
+                self.singleflight.finish(key, cached)
+                return ResolvedJob(job=job, fingerprint=key, source="cache",
+                                   future=flight)
+        with self._stats_lock:
+            self.stats.executed += 1
+        execution = self.executor.submit(job)
+        execution.add_done_callback(
+            lambda done, key=key: self._publish(key, done))
+        return ResolvedJob(job=job, fingerprint=key, source="executed",
+                           future=flight)
+
+    def _publish(self, key: str, done: "Future") -> None:
+        """Store the leader's result (write-once) and release the flight."""
+        exc = done.exception()
+        if exc is not None:
+            with self._stats_lock:
+                self.stats.errors += 1
+            self.singleflight.fail(key, exc)
+            return
+        result = done.result()
+        if self.cache is not None:
+            try:
+                self.cache.put(key, result)
+            except Exception:  # noqa: BLE001 - cache faults must not lose results
+                pass
+        self.singleflight.finish(key, result)
+
+    def submit_plan(self, jobs: Sequence) -> List[ResolvedJob]:
+        """Resolve a whole job plan, preserving plan order."""
+        with self._stats_lock:
+            self.stats.requests += 1
+            self.stats.jobs += len(jobs)
+        return [self.resolve(job) for job in jobs]
+
+    # -- observability ---------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, object]:
+        """Point-in-time stats for the ``/stats`` endpoint."""
+        with self._stats_lock:
+            stats = {
+                "requests": self.stats.requests,
+                "jobs": self.stats.jobs,
+                "executed": self.stats.executed,
+                "cache_hits": self.stats.cache_hits,
+                "deduped": self.stats.deduped,
+                "errors": self.stats.errors,
+            }
+        stats["in_flight"] = len(self.singleflight)
+        stats["queue_depth"] = self.executor.queue_depth
+        if self.cache is not None:
+            stats["cache"] = {
+                "hits": self.cache.stats.hits,
+                "misses": self.cache.stats.misses,
+                "stores": self.cache.stats.stores,
+            }
+        return stats
+
+    def counts_for(self, resolved: Sequence[ResolvedJob]
+                   ) -> Dict[str, int]:
+        """Per-request summary counts (the trailing NDJSON summary record)."""
+        counts = {"jobs": len(resolved), "executed": 0, "cache_hits": 0,
+                  "deduped": 0}
+        for item in resolved:
+            if item.source == "executed":
+                counts["executed"] += 1
+            elif item.source == "cache":
+                counts["cache_hits"] += 1
+            else:
+                counts["deduped"] += 1
+        return counts
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def shutdown(self, drain: bool = True) -> None:
+        """Drain the executor and release the cache."""
+        self.executor.shutdown(drain=drain)
+        if self.cache is not None:
+            self.cache.close()
+
+    def describe(self) -> str:
+        text = f"[service] {self.stats.describe()}"
+        if self.cache is not None:
+            text += f" {self.cache.stats.describe()}"
+        return text

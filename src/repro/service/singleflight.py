@@ -1,0 +1,63 @@
+"""Single-flight deduplication: one execution per in-flight fingerprint.
+
+The cache deduplicates *finished* work; the single-flight table
+deduplicates work that is still running.  When two requests submit jobs
+with the same fingerprint concurrently, the first becomes the **leader**
+(it executes the job and publishes the result) and every later request
+becomes a **follower** (it waits on the leader's future).  Combined with a
+write-once cache this gives the service its exactly-once guarantee: for any
+fingerprint, at most one simulation runs no matter how many concurrent
+submissions ask for it.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future
+from typing import Dict, Tuple
+
+__all__ = ["SingleFlight"]
+
+
+class SingleFlight:
+    """A thread-safe ``fingerprint -> in-flight Future`` table."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._inflight: Dict[str, "Future"] = {}
+
+    def begin(self, key: str) -> Tuple[bool, "Future"]:
+        """Join the flight for ``key``.
+
+        Returns ``(True, future)`` if the caller is the leader — it must
+        eventually call :meth:`finish` or :meth:`fail` with the same key —
+        or ``(False, future)`` if another flight is already in progress and
+        the caller should just wait on the shared future.
+        """
+        with self._lock:
+            future = self._inflight.get(key)
+            if future is not None:
+                return False, future
+            future = Future()
+            self._inflight[key] = future
+            return True, future
+
+    def finish(self, key: str, result) -> None:
+        """Publish the leader's result and retire the flight."""
+        with self._lock:
+            future = self._inflight.pop(key)
+        future.set_result(result)
+
+    def fail(self, key: str, exc: BaseException) -> None:
+        """Propagate the leader's failure to every follower and retire."""
+        with self._lock:
+            future = self._inflight.pop(key)
+        future.set_exception(exc)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._inflight)
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            return key in self._inflight

@@ -1,31 +1,26 @@
-"""High-level simulation entry points used by examples, benchmarks and the CLI.
+"""Layout defaults and comparison-row aggregation for simulation results.
 
-Every entry point here plans its work as a list of
-:class:`~repro.exec.jobs.SimJob` records and executes them through an
-:class:`~repro.exec.engine.ExecutionEngine`.  Callers that pass no engine get
-a serial, uncached engine — bit-for-bit the behaviour of the original nested
-loops — while the CLI's ``--jobs``/``--cache`` flags and the benchmark
-harnesses inject parallel and memoised engines through the same parameter.
+Work is planned as :class:`~repro.exec.jobs.SimJob` lists and executed
+through an :class:`~repro.exec.engine.ExecutionEngine`; experiments are
+described declaratively with :class:`repro.api.ExperimentSpec` and run via
+:func:`repro.api.run_experiment`.
 
-.. deprecated::
-    :func:`run_schedule`, :func:`compare_schedulers` / :func:`run_comparison`
-    are kept as thin shims for existing callers; new code should describe
-    experiments declaratively with :class:`repro.api.ExperimentSpec` and
-    :func:`repro.api.run_experiment`, which return a filterable
-    :class:`~repro.api.resultset.ResultSet` instead of loose lists.
+The original loose entry points — ``run_schedule``, ``compare_schedulers``
+and its ``run_comparison`` alias — went through a ``DeprecationWarning``
+cycle and are now hard errors: calling one raises :class:`RuntimeError`
+naming the replacement.  The error stubs remain importable so existing
+``from repro.sim import run_schedule`` statements fail at the call site
+with a message, not at import time with an ``ImportError``.
 """
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Dict, List, Sequence
 
 from ..circuits import Circuit
-from ..exec.engine import ExecutionEngine
-from ..exec.jobs import SimJob, plan_jobs
+from ..exec.jobs import SimJob
 from ..fabric import GridLayout, StarVariant, compress_layout, star_layout
-from .config import SimulationConfig
 from .results import SimulationResult
 
 __all__ = ["default_layout", "run_schedule", "run_comparison",
@@ -46,52 +41,39 @@ def default_layout(circuit: Circuit, compression: float = 0.0,
     return layout
 
 
-def _resolve_engine(engine: Optional[ExecutionEngine]) -> ExecutionEngine:
-    """Default to a serial, uncached engine (the deterministic reference)."""
-    return engine if engine is not None else ExecutionEngine()
+def _removed(name: str, replacement: str) -> RuntimeError:
+    return RuntimeError(
+        f"{name} was removed after its deprecation cycle; use {replacement} "
+        f"instead (see the 'Experiment API' section of the README)")
 
 
-def _deprecated(name: str, replacement: str) -> None:
-    warnings.warn(
-        f"{name} is deprecated; use {replacement} instead "
-        f"(see the 'Experiment API' section of the README)",
-        DeprecationWarning, stacklevel=3)
+def run_schedule(*args, **kwargs):
+    """Removed.  Use :func:`repro.api.run_experiment` with an
+    :class:`~repro.api.spec.ExperimentSpec`, or plan jobs explicitly with
+    :func:`repro.exec.plan_jobs` for unregistered circuits/layouts."""
+    raise _removed(
+        "run_schedule",
+        "repro.api.run_experiment with an ExperimentSpec (or "
+        "repro.exec.plan_jobs + ExecutionEngine.run for unregistered "
+        "circuits)")
 
 
-def run_schedule(scheduler, circuit: Circuit,
-                 config: Optional[SimulationConfig] = None,
-                 layout: Optional[GridLayout] = None,
-                 seeds: Union[int, Sequence[int]] = 1,
-                 compression: float = 0.0,
-                 engine: Optional[ExecutionEngine] = None
-                 ) -> List[SimulationResult]:
-    """Run ``scheduler`` on ``circuit`` for one or more seeds.
+def compare_schedulers(*args, **kwargs):
+    """Removed.  Use :func:`repro.api.run_experiment` with an
+    :class:`~repro.api.spec.ExperimentSpec` naming the schedulers, then
+    :meth:`~repro.api.resultset.ResultSet.comparison_rows`."""
+    raise _removed(
+        "compare_schedulers",
+        "repro.api.run_experiment with an ExperimentSpec, then "
+        "ResultSet.comparison_rows()")
 
-    .. deprecated:: use :func:`repro.api.run_experiment` with an
-       :class:`~repro.api.spec.ExperimentSpec`, or plan jobs explicitly with
-       :func:`repro.exec.plan_jobs` for unregistered circuits/layouts.
 
-    Parameters
-    ----------
-    scheduler:
-        Any :class:`~repro.scheduling.base.Scheduler` instance.
-    config:
-        Defaults to the paper's headline configuration (d=7, p=1e-4, k=25).
-    layout:
-        Defaults to the STAR grid for the circuit (optionally compressed).
-    seeds:
-        Either the number of seeded repetitions (seeds 0..n-1) or an explicit
-        sequence of seeds.
-    engine:
-        Optional :class:`~repro.exec.engine.ExecutionEngine`; defaults to
-        serial, uncached execution.  Results are returned in seed order no
-        matter which executor backs the engine.
-    """
-    _deprecated("run_schedule", "repro.api.run_experiment (or repro.exec.plan_jobs)")
-    config = config or SimulationConfig()
-    layout = layout or default_layout(circuit, compression=compression)
-    jobs = plan_jobs([scheduler], circuit, config, layout, seeds)
-    return _resolve_engine(engine).run(jobs)
+def run_comparison(*args, **kwargs):
+    """Removed alias of :func:`compare_schedulers`; same replacement."""
+    raise _removed(
+        "run_comparison",
+        "repro.api.run_experiment with an ExperimentSpec, then "
+        "ResultSet.comparison_rows()")
 
 
 @dataclass
@@ -127,37 +109,3 @@ def aggregate_comparison(jobs: Sequence[SimJob],
     """
     from ..api.resultset import ResultSet
     return ResultSet.from_jobs(jobs, results).comparison_rows()
-
-
-def compare_schedulers(schedulers, circuit: Circuit,
-                       config: Optional[SimulationConfig] = None,
-                       layout: Optional[GridLayout] = None,
-                       seeds: Union[int, Sequence[int]] = 3,
-                       compression: float = 0.0,
-                       engine: Optional[ExecutionEngine] = None
-                       ) -> Dict[str, ComparisonRow]:
-    """Run several schedulers on the same circuit/layout/seeds and aggregate.
-
-    .. deprecated:: use :func:`repro.api.run_experiment` with an
-       :class:`~repro.api.spec.ExperimentSpec` naming the schedulers, then
-       :meth:`~repro.api.resultset.ResultSet.comparison_rows`.
-
-    The returned mapping is ordered by scheduler name (ascending) and each
-    row's per-seed ``results`` are ordered by seed, so output is identical
-    whether the underlying engine executes serially, in parallel, or from
-    cache.
-    """
-    _deprecated("compare_schedulers", "repro.api.run_experiment")
-    from ..api.resultset import ResultSet
-    config = config or SimulationConfig()
-    layout = layout or default_layout(circuit, compression=compression)
-    jobs = plan_jobs(schedulers, circuit, config, layout, seeds)
-    results = _resolve_engine(engine).run(jobs)
-    return ResultSet.from_jobs(jobs, results).comparison_rows()
-
-
-#: Documented alias for :func:`compare_schedulers`, kept for the examples and
-#: benchmarks written against the original artifact's naming.  Identical
-#: semantics (and identical deprecation), including the
-#: sorted-by-scheduler-name row ordering.
-run_comparison = compare_schedulers

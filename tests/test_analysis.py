@@ -14,11 +14,8 @@ from repro.analysis import (
     format_table,
     latency_histograms,
     max_rotations,
+    run_axis_sweep,
     run_execution_comparison,
-    sweep_compression,
-    sweep_distance,
-    sweep_error_rate,
-    sweep_mst_period,
 )
 from repro.scheduling import AutoBraidScheduler, RescqScheduler
 from repro.workloads import dnn_circuit, qft_circuit
@@ -60,21 +57,21 @@ class TestSweeps:
         return [AutoBraidScheduler(), RescqScheduler()]
 
     def test_distance_sweep_rows(self):
-        rows = sweep_distance(self.schedulers(), self.circuits(),
-                              distances=(5, 7), seeds=1)
+        rows = run_axis_sweep("distance", self.schedulers(), self.circuits(),
+                              values=(5, 7), seeds=1)
         assert len(rows) == 4
         assert {row.parameter for row in rows} == {"distance"}
         assert all(row.mean_cycles > 0 for row in rows)
 
     def test_error_rate_sweep_rows(self):
-        rows = sweep_error_rate(self.schedulers(), self.circuits(),
-                                error_rates=(1e-3, 1e-4), seeds=1)
+        rows = run_axis_sweep("error-rate", self.schedulers(),
+                              self.circuits(), values=(1e-3, 1e-4), seeds=1)
         assert len(rows) == 4
         assert {row.value for row in rows} == {1e-3, 1e-4}
 
     def test_mst_period_sweep_rows(self):
-        rows = sweep_mst_period([RescqScheduler()], self.circuits(),
-                                periods=(25, 100), seeds=1)
+        rows = run_axis_sweep("mst-period", [RescqScheduler()],
+                              self.circuits(), values=(25, 100), seeds=1)
         assert len(rows) == 2
         assert all(row.scheduler == "rescq" for row in rows)
 
@@ -82,8 +79,8 @@ class TestSweeps:
         """Figure 14 / contribution 3: even in the most constrained grids
         RESCQ keeps a clear advantage over the static baseline."""
         circuit = dnn_circuit(8, layers=2)
-        rows = sweep_compression(self.schedulers(), [circuit],
-                                 compressions=(0.0, 1.0), seeds=2)
+        rows = run_axis_sweep("compression", self.schedulers(), [circuit],
+                              values=(0.0, 1.0), seeds=2)
         by_key = {(row.scheduler, row.value): row.mean_cycles for row in rows}
         assert by_key[("rescq", 0.0)] < by_key[("autobraid", 0.0)]
         assert (by_key[("autobraid", 1.0)] / by_key[("rescq", 1.0)]) > 1.2
@@ -91,8 +88,8 @@ class TestSweeps:
         assert by_key[("rescq", 1.0)] >= by_key[("rescq", 0.0)]
 
     def test_sweep_row_as_dict(self):
-        rows = sweep_distance([RescqScheduler()], self.circuits(),
-                              distances=(7,), seeds=1)
+        rows = run_axis_sweep("distance", [RescqScheduler()], self.circuits(),
+                              values=(7,), seeds=1)
         payload = rows[0].as_dict()
         assert payload["benchmark"] == "qft_n5"
         assert "distance" in payload

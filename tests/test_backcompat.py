@@ -1,9 +1,11 @@
-"""Back-compat: the legacy entry points still work and warn once deprecated.
+"""Removal contract for the legacy entry points.
 
 ``run_schedule`` / ``compare_schedulers`` / ``run_comparison`` and the four
-``sweep_*`` functions are shims over the declarative API; they must emit
-``DeprecationWarning`` and return exactly what the new API returns so
-examples and external callers keep working unchanged.
+``sweep_*`` functions went through a ``DeprecationWarning`` cycle and are
+now hard errors: they stay importable (so old ``from repro.sim import
+run_schedule`` lines do not explode at import time) but calling one raises
+``RuntimeError`` naming the ExperimentSpec replacement.  The declarative
+API they point at must itself run clean of deprecation noise.
 """
 
 import warnings
@@ -18,9 +20,13 @@ from repro.analysis import (
     sweep_mst_period,
 )
 from repro.api import ExperimentSpec, run_experiment
-from repro.scheduling import AutoBraidScheduler, RescqScheduler
-from repro.sim import SimulationConfig, compare_schedulers, run_comparison, run_schedule
-from repro.workloads import get_benchmark
+from repro.scheduling import RescqScheduler
+from repro.sim import (
+    SimulationConfig,
+    compare_schedulers,
+    run_comparison,
+    run_schedule,
+)
 from repro.workloads.qft import qft_circuit
 
 FAST = SimulationConfig(max_cycles=100_000)
@@ -31,37 +37,50 @@ def circuit():
     return qft_circuit(6)
 
 
-class TestDeprecationWarnings:
-    def test_run_schedule_warns(self, circuit):
-        with pytest.warns(DeprecationWarning, match="run_schedule"):
-            results = run_schedule(RescqScheduler(), circuit, config=FAST,
-                                   seeds=1)
-        assert len(results) == 1
+class TestRemovedEntryPoints:
+    def test_run_schedule_raises_with_replacement(self, circuit):
+        with pytest.raises(RuntimeError, match="run_experiment"):
+            run_schedule(RescqScheduler(), circuit, config=FAST, seeds=1)
 
-    def test_compare_schedulers_warns(self, circuit):
-        with pytest.warns(DeprecationWarning, match="compare_schedulers"):
-            rows = compare_schedulers([RescqScheduler()], circuit,
-                                      config=FAST, seeds=1)
-        assert "rescq" in rows
+    def test_compare_schedulers_raises_with_replacement(self, circuit):
+        with pytest.raises(RuntimeError, match="comparison_rows"):
+            compare_schedulers([RescqScheduler()], circuit, config=FAST,
+                               seeds=1)
 
-    def test_run_comparison_alias_warns(self, circuit):
-        with pytest.warns(DeprecationWarning):
-            rows = run_comparison([RescqScheduler()], circuit, config=FAST,
-                                  seeds=1)
-        assert "rescq" in rows
+    def test_run_comparison_alias_raises(self, circuit):
+        with pytest.raises(RuntimeError, match="run_comparison"):
+            run_comparison([RescqScheduler()], circuit, config=FAST, seeds=1)
 
-    @pytest.mark.parametrize("shim,kwargs", [
-        (sweep_distance, {"distances": (5,)}),
-        (sweep_error_rate, {"error_rates": (1e-4,)}),
-        (sweep_mst_period, {"periods": (25,)}),
-        (sweep_compression, {"compressions": (0.0,)}),
+    def test_errors_name_the_removed_function(self, circuit):
+        with pytest.raises(RuntimeError, match="run_schedule"):
+            run_schedule(RescqScheduler(), circuit)
+        with pytest.raises(RuntimeError, match="compare_schedulers"):
+            compare_schedulers([RescqScheduler()], circuit)
+
+    @pytest.mark.parametrize("shim,axis", [
+        (sweep_distance, "distance"),
+        (sweep_error_rate, "error-rate"),
+        (sweep_mst_period, "mst-period"),
+        (sweep_compression, "compression"),
     ])
-    def test_sweep_shims_warn(self, circuit, shim, kwargs):
-        with pytest.warns(DeprecationWarning, match=shim.__name__):
-            rows = shim([RescqScheduler()], [circuit], seeds=1, **kwargs)
-        assert len(rows) == 1
-        assert rows[0].scheduler == "rescq"
+    def test_sweep_shims_raise_naming_axis(self, circuit, shim, axis):
+        with pytest.raises(RuntimeError) as excinfo:
+            shim([RescqScheduler()], [circuit], seeds=1)
+        message = str(excinfo.value)
+        assert shim.__name__ in message
+        assert axis in message
+        assert "run_axis_sweep" in message
 
+    def test_stubs_raise_before_touching_arguments(self):
+        # The stubs must fail fast for any signature, including the old
+        # keyword conventions, rather than raising TypeError.
+        with pytest.raises(RuntimeError):
+            run_schedule()
+        with pytest.raises(RuntimeError):
+            sweep_mst_period(periods=(25,))
+
+
+class TestReplacementsAreClean:
     def test_run_axis_sweep_does_not_warn(self, circuit):
         with warnings.catch_warnings():
             warnings.simplefilter("error", DeprecationWarning)
@@ -69,34 +88,10 @@ class TestDeprecationWarnings:
                                   values=(25,), seeds=1)
         assert len(rows) == 1
 
-
-class TestShimEquivalence:
-    def test_compare_schedulers_matches_run_experiment(self):
-        benchmark = "VQE_n13"
-        schedulers = [AutoBraidScheduler(), RescqScheduler()]
-        with pytest.warns(DeprecationWarning):
-            legacy = compare_schedulers(schedulers,
-                                        get_benchmark(benchmark).build(),
-                                        seeds=2)
-        spec = ExperimentSpec(benchmarks=(benchmark,),
-                              schedulers=("autobraid", "rescq"), seeds=2)
-        modern = run_experiment(spec).comparison_rows()
-        assert list(legacy) == list(modern)
-        for name in legacy:
-            assert legacy[name].mean_cycles == modern[name].mean_cycles
-            assert legacy[name].min_cycles == modern[name].min_cycles
-            assert legacy[name].max_cycles == modern[name].max_cycles
-            assert legacy[name].mean_idle_fraction == \
-                modern[name].mean_idle_fraction
-
-    def test_sweep_shim_matches_spec_grid(self):
-        benchmark = "VQE_n13"
-        with pytest.warns(DeprecationWarning):
-            legacy = sweep_mst_period([RescqScheduler()],
-                                      [get_benchmark(benchmark).build()],
-                                      periods=(25, 50), seeds=1)
-        spec = ExperimentSpec(benchmarks=(benchmark,), schedulers=("rescq",),
-                              grid={"mst_period": (25, 50)}, seeds=1)
-        modern = run_experiment(spec).sweep_rows("mst_period")
-        assert [row.as_dict() for row in legacy] == \
-               [row.as_dict() for row in modern]
+    def test_run_experiment_does_not_warn(self):
+        spec = ExperimentSpec(benchmarks=("VQE_n13",), schedulers=("rescq",),
+                              seeds=1)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            results = run_experiment(spec)
+        assert len(results.rows) == 1

@@ -1,0 +1,106 @@
+"""Tests for canonical JSON: the byte-stable serialisation behind caching."""
+
+import json
+import math
+
+import pytest
+
+from repro.api import ExperimentSpec
+from repro.canonical import CanonicalizationError, canonical_dumps, content_hash
+
+
+class TestCanonicalDumps:
+    def test_keys_are_sorted_regardless_of_insertion_order(self):
+        forward = {"a": 1, "b": 2, "c": {"x": 1, "y": 2}}
+        backward = {"c": {"y": 2, "x": 1}, "b": 2, "a": 1}
+        assert canonical_dumps(forward) == canonical_dumps(backward)
+        assert canonical_dumps(forward) == '{"a":1,"b":2,"c":{"x":1,"y":2}}'
+
+    def test_compact_separators_by_default(self):
+        assert canonical_dumps({"a": [1, 2]}) == '{"a":[1,2]}'
+
+    def test_indent_mode_still_sorts(self):
+        text = canonical_dumps({"b": 1, "a": 2}, indent=2)
+        assert text.index('"a"') < text.index('"b"')
+        assert json.loads(text) == {"a": 2, "b": 1}
+
+    def test_negative_zero_normalised(self):
+        assert canonical_dumps(-0.0) == canonical_dumps(0.0) == "0.0"
+        assert canonical_dumps({"v": [-0.0]}) == '{"v":[0.0]}'
+
+    def test_tuples_serialise_like_lists(self):
+        assert canonical_dumps((1, 2)) == canonical_dumps([1, 2])
+
+    @pytest.mark.parametrize("bad", [math.nan, math.inf, -math.inf])
+    def test_non_finite_floats_rejected(self, bad):
+        with pytest.raises(CanonicalizationError):
+            canonical_dumps(bad)
+
+    def test_error_names_the_offending_path(self):
+        with pytest.raises(CanonicalizationError, match=r"\$\.a\[1\]\.b"):
+            canonical_dumps({"a": [0, {"b": math.nan}]})
+
+    def test_non_string_keys_rejected(self):
+        with pytest.raises(CanonicalizationError, match="non-string key"):
+            canonical_dumps({1: "x"})
+
+    def test_non_serialisable_values_rejected(self):
+        with pytest.raises(CanonicalizationError, match="not.*serialisable"):
+            canonical_dumps({"f": object()})
+
+    def test_bools_are_not_confused_with_ints(self):
+        assert canonical_dumps(True) == "true"
+        assert canonical_dumps(1) == "1"
+
+    def test_output_is_ascii_only(self):
+        text = canonical_dumps({"s": "café"})
+        assert text == '{"s":"caf\\u00e9"}'
+        assert text.isascii()
+
+
+class TestContentHash:
+    def test_equal_values_hash_identically(self):
+        assert content_hash({"a": 1, "b": 2.5}) == content_hash(
+            {"b": 2.5, "a": 1})
+
+    def test_different_values_hash_differently(self):
+        assert content_hash({"a": 1}) != content_hash({"a": 2})
+
+    def test_hash_is_sha256_hex(self):
+        digest = content_hash([])
+        assert len(digest) == 64
+        int(digest, 16)  # raises if not hex
+
+
+class TestApiSerialisationIsCanonical:
+    """ExperimentSpec round-trips write sorted-key canonical JSON, so two
+    equal specs always serialise to identical bytes (the property the
+    single-flight table and both cache backends key on)."""
+
+    def spec(self, **overrides):
+        payload = {"name": "t", "benchmarks": ["VQE_n13"],
+                   "schedulers": ["rescq"], "seeds": 1,
+                   "config": {"mst_period": 10, "mst_latency": 10}}
+        payload.update(overrides)
+        return ExperimentSpec.from_dict(payload)
+
+    def test_spec_json_has_sorted_keys(self):
+        text = self.spec().to_json()
+        payload = json.loads(text)
+        assert list(payload) == sorted(payload)
+
+    def test_spec_json_is_insertion_order_independent(self):
+        a = self.spec()
+        b = ExperimentSpec.from_dict(dict(reversed(list(
+            json.loads(a.to_json()).items()))))
+        assert a.to_json() == b.to_json()
+
+    def test_resultset_json_is_canonical_and_repeatable(self):
+        from repro.api import run_experiment
+        text = run_experiment(self.spec()).to_json()
+        rows = json.loads(text)
+        assert rows
+        for row in rows:
+            assert list(row) == sorted(row)
+        # Re-running the same spec exports byte-identical documents.
+        assert run_experiment(self.spec()).to_json() == text

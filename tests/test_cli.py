@@ -245,6 +245,103 @@ class TestRunErrorPaths:
         assert ">= 2" in str(excinfo.value)
 
 
+class TestServeParser:
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.host == "127.0.0.1"
+        assert args.port == 8765
+        assert args.jobs is None
+        assert args.cache is None
+        assert args.max_attempts == 2
+
+    def test_serve_accepts_port_zero(self):
+        args = build_parser().parse_args(["serve", "--port", "0",
+                                          "--jobs", "2"])
+        assert args.port == 0 and args.jobs == 2
+
+    def test_serve_rejects_zero_jobs(self):
+        with pytest.raises(SystemExit, match="--jobs"):
+            main(["serve", "--jobs", "0"])
+
+
+class TestParseAge:
+    @pytest.mark.parametrize("text,expected", [
+        ("90", 90.0), ("30s", 30.0), ("5m", 300.0), ("2h", 7200.0),
+        ("1d", 86400.0), ("1.5h", 5400.0), ("0", 0.0),
+    ])
+    def test_valid_ages(self, text, expected):
+        from repro.cli import _parse_age
+        assert _parse_age(text) == expected
+
+    @pytest.mark.parametrize("text", ["", "soon", "1w", "-5m"])
+    def test_invalid_ages(self, text):
+        from repro.cli import _parse_age
+        with pytest.raises(SystemExit, match="cache gc"):
+            _parse_age(text)
+
+
+class TestCacheCommand:
+    def populate(self, spec):
+        from repro.exec.cache import open_cache_backend
+        from repro.sim import SimulationResult
+        backend = open_cache_backend(spec)
+        for seed in range(2):
+            backend.put(f"{seed:064x}", SimulationResult(
+                "bench", "rescq", seed=seed, total_cycles=10, num_qubits=2,
+                traces=[], data_busy_cycles={}))
+        backend.close()
+        return spec
+
+    def test_stats_counts_entries(self, tmp_path, capsys):
+        spec = self.populate(str(tmp_path / "cache"))
+        assert main(["cache", "stats", spec]) == 0
+        out = capsys.readouterr().out
+        assert "2 entries" in out and "bytes" in out
+
+    def test_stats_on_sqlite_backend(self, tmp_path, capsys):
+        spec = self.populate(str(tmp_path / "cache.sqlite"))
+        assert main(["cache", "stats", spec]) == 0
+        assert "2 entries" in capsys.readouterr().out
+
+    def test_verify_healthy_exits_zero(self, tmp_path, capsys):
+        spec = self.populate(str(tmp_path / "cache"))
+        assert main(["cache", "verify", spec]) == 0
+        assert "entries=2 ok=2 ok" in capsys.readouterr().out
+
+    def test_verify_corrupt_exits_one(self, tmp_path, capsys):
+        spec = self.populate(str(tmp_path / "cache"))
+        (tmp_path / "cache" / ("b" * 64 + ".json")).write_text("{broken")
+        assert main(["cache", "verify", spec]) == 1
+        out = capsys.readouterr().out
+        assert "CORRUPT(1)" in out
+        assert f"corrupt: {'b' * 64}" in out
+
+    def test_gc_requires_older_than(self, tmp_path):
+        spec = self.populate(str(tmp_path / "cache"))
+        with pytest.raises(SystemExit, match="--older-than"):
+            main(["cache", "gc", spec])
+
+    def test_gc_with_large_age_keeps_everything(self, tmp_path, capsys):
+        spec = self.populate(str(tmp_path / "cache"))
+        assert main(["cache", "gc", spec, "--older-than", "7d"]) == 0
+        assert "removed 0 entries" in capsys.readouterr().out
+        assert main(["cache", "stats", spec]) == 0
+        assert "2 entries" in capsys.readouterr().out
+
+    def test_gc_with_zero_age_removes_everything(self, tmp_path, capsys):
+        spec = self.populate(str(tmp_path / "cache.sqlite"))
+        assert main(["cache", "gc", spec, "--older-than", "0s"]) == 0
+        assert "removed 2 entries" in capsys.readouterr().out
+
+    def test_missing_path_errors(self, tmp_path):
+        with pytest.raises(SystemExit, match="no cache at"):
+            main(["cache", "stats", str(tmp_path / "absent")])
+
+    def test_prefixed_spec_checks_the_real_location(self, tmp_path):
+        with pytest.raises(SystemExit, match="no cache at"):
+            main(["cache", "stats", f"sqlite:{tmp_path / 'absent.sqlite'}"])
+
+
 class TestProcessExitCodes:
     """The satellite contract: error paths exit non-zero with stderr text."""
 

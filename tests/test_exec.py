@@ -7,7 +7,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro import SimulationConfig, compare_schedulers, default_layout
+from repro import SimulationConfig, default_layout
 from repro.exec import (
     ExecutionEngine,
     ParallelExecutor,
@@ -18,7 +18,7 @@ from repro.exec import (
     plan_jobs,
 )
 from repro.scheduling import AutoBraidScheduler, GreedyScheduler, RescqScheduler
-from repro.sim import run_schedule
+from repro.sim import aggregate_comparison
 from repro.workloads import qft_circuit
 
 FAST = SimulationConfig(mst_period=10, mst_latency=10)
@@ -247,35 +247,38 @@ class TestExecutionEngine:
 
 
 class TestRunnerIntegration:
-    def test_run_schedule_engine_parameter(self):
+    def test_engine_choice_does_not_change_results(self):
         circuit = qft_circuit(5)
-        scheduler = RescqScheduler()
-        default = run_schedule(scheduler, circuit, config=FAST, seeds=2)
-        engineered = run_schedule(
-            scheduler, circuit, config=FAST, seeds=2,
-            engine=ExecutionEngine(executor=ParallelExecutor(max_workers=2)))
+        jobs = plan_jobs([RescqScheduler()], circuit, FAST,
+                         default_layout(circuit), 2)
+        default = ExecutionEngine().run(jobs)
+        engineered = ExecutionEngine(
+            executor=ParallelExecutor(max_workers=2)).run(jobs)
         assert default == engineered
 
-    def test_compare_schedulers_rows_sorted_by_name(self):
+    def test_comparison_rows_sorted_by_name(self):
         circuit = qft_circuit(5)
-        rows = compare_schedulers(
+        jobs = plan_jobs(
             [RescqScheduler(), GreedyScheduler(), AutoBraidScheduler()],
-            circuit, config=FAST, seeds=1)
+            circuit, FAST, default_layout(circuit), 1)
+        rows = aggregate_comparison(jobs, ExecutionEngine().run(jobs))
         assert list(rows) == ["autobraid", "greedy", "rescq"]
 
-    def test_compare_schedulers_results_sorted_by_seed(self):
+    def test_comparison_results_sorted_by_seed(self):
         circuit = qft_circuit(5)
-        rows = compare_schedulers([RescqScheduler()], circuit, config=FAST,
-                                  seeds=[2, 0, 1])
+        jobs = plan_jobs([RescqScheduler()], circuit, FAST,
+                         default_layout(circuit), [2, 0, 1])
+        rows = aggregate_comparison(jobs, ExecutionEngine().run(jobs))
         assert [r.seed for r in rows["rescq"].results] == [0, 1, 2]
 
-    def test_compare_schedulers_identical_across_engines(self, tmp_path):
+    def test_comparison_identical_across_engines(self, tmp_path):
         circuit = qft_circuit(5)
+        jobs = plan_jobs([AutoBraidScheduler(), RescqScheduler()], circuit,
+                         FAST, default_layout(circuit), 2)
 
         def run(engine=None):
-            return compare_schedulers(
-                [AutoBraidScheduler(), RescqScheduler()], circuit,
-                config=FAST, seeds=2, engine=engine)
+            engine = engine or ExecutionEngine()
+            return aggregate_comparison(jobs, engine.run(jobs))
 
         reference = run()
         parallel = run(ExecutionEngine(

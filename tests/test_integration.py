@@ -4,8 +4,9 @@
 from repro import SimulationConfig, default_layout, geometric_mean
 from repro.analysis import run_execution_comparison
 from repro.circuits import from_artifact_format, to_artifact_format
+from repro.exec import ExecutionEngine, plan_jobs
 from repro.scheduling import AutoBraidScheduler, GreedyScheduler, RescqScheduler
-from repro.sim import compare_schedulers
+from repro.sim import aggregate_comparison
 from repro.workloads import (
     get_benchmark,
     hamiltonian_simulation_circuit,
@@ -22,9 +23,10 @@ class TestEndToEnd:
         """Build a Table 3 benchmark, run all three schedulers, check the
         headline qualitative result (RESCQ wins) end to end."""
         circuit = get_benchmark("VQE_n13").build()
-        rows = compare_schedulers(
+        jobs = plan_jobs(
             [GreedyScheduler(), AutoBraidScheduler(), RescqScheduler()],
-            circuit, config=FAST, seeds=2)
+            circuit, FAST, default_layout(circuit), 2)
+        rows = aggregate_comparison(jobs, ExecutionEngine().run(jobs))
         assert rows["rescq"].mean_cycles < rows["greedy"].mean_cycles
         assert rows["rescq"].mean_cycles < rows["autobraid"].mean_cycles
 

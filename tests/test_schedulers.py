@@ -8,7 +8,7 @@ from repro import SimulationConfig, default_layout
 from repro.circuits import Circuit
 from repro.fabric import StarVariant, compress_layout, star_layout
 from repro.scheduling import AutoBraidScheduler, GreedyScheduler, RescqScheduler
-from repro.sim import run_schedule
+from repro.exec import ExecutionEngine, plan_jobs
 from repro.workloads import dnn_circuit, ising_circuit, qft_circuit
 
 
@@ -179,7 +179,9 @@ class TestRescqScheduler:
         result = run_one(RescqScheduler(), circuit)
         assert result.num_gates == 4
 
-    def test_run_schedule_helper_multiple_seeds(self, qft6):
-        results = run_schedule(RescqScheduler(), qft6, config=CONFIG, seeds=3)
+    def test_planned_jobs_multiple_seeds(self, qft6):
+        jobs = plan_jobs([RescqScheduler()], qft6, CONFIG,
+                         default_layout(qft6), 3)
+        results = ExecutionEngine().run(jobs)
         assert len(results) == 3
         assert len({r.seed for r in results}) == 3

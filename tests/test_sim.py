@@ -3,13 +3,14 @@
 import pytest
 
 from repro import SimulationConfig, default_layout
+from repro.exec import ExecutionEngine, plan_jobs
 from repro.rus import InjectionStrategy
 from repro.scheduling import AutoBraidScheduler, RescqScheduler
 from repro.sim import (
     GateTrace,
     SimulationResult,
+    aggregate_comparison,
     aggregate_results,
-    compare_schedulers,
     geometric_mean,
 )
 from repro.workloads import qft_circuit
@@ -122,11 +123,15 @@ class TestRunner:
         layout = default_layout(circuit, compression=1.0)
         assert layout.num_ancilla < default_layout(circuit).num_ancilla
 
-    def test_compare_schedulers_shares_layout_and_seeds(self):
+    def _comparison(self, seeds):
         circuit = qft_circuit(5)
         config = SimulationConfig(mst_period=10, mst_latency=10)
-        rows = compare_schedulers([AutoBraidScheduler(), RescqScheduler()],
-                                  circuit, config=config, seeds=2)
+        jobs = plan_jobs([AutoBraidScheduler(), RescqScheduler()], circuit,
+                         config, default_layout(circuit), seeds)
+        return aggregate_comparison(jobs, ExecutionEngine().run(jobs))
+
+    def test_comparison_shares_layout_and_seeds(self):
+        rows = self._comparison(seeds=2)
         assert set(rows) == {"autobraid", "rescq"}
         for row in rows.values():
             assert row.runs == 2
@@ -134,9 +139,6 @@ class TestRunner:
             assert 0.0 <= row.mean_idle_fraction <= 1.0
 
     def test_normalised_to_reference(self):
-        circuit = qft_circuit(5)
-        config = SimulationConfig(mst_period=10, mst_latency=10)
-        rows = compare_schedulers([AutoBraidScheduler(), RescqScheduler()],
-                                  circuit, config=config, seeds=1)
+        rows = self._comparison(seeds=1)
         ratio = rows["rescq"].normalised_to(rows["autobraid"])
         assert 0.0 < ratio <= 1.5
