@@ -1,0 +1,173 @@
+"""Service load benchmark — dedup efficiency and tail latency, measured.
+
+Fires thousands of concurrent submissions at a real 2-shard cluster (two
+``ExperimentServer`` shards behind one ``ShardRouter``, the same wire path
+as ``rescq serve`` + ``rescq route``) in two phases:
+
+* **identical** — every client submits the *same* spec, so after the first
+  execution the cluster should answer everything from single-flight dedup
+  and the result cache: dedup efficiency ~1.
+* **distinct** — every client submits a unique single-job spec (a seeded
+  scenario circuit), so nothing can dedupe and the flood pushes the
+  pending-jobs gauge into the admission-control high-water mark: a nonzero
+  429 rate is the *expected* outcome, and clients retry after the server's
+  ``Retry-After`` hint until their job lands.
+
+Per phase we record request latency percentiles (p50/p90/p99, successful
+requests only), the 429 rate, and dedup efficiency
+(``1 - executed / jobs``); the result always goes to ``BENCH_service.json``
+at the repo root, which the nightly workflow uploads next to the other
+``BENCH_*.json`` artifacts.  Workload sizes scale with ``RESCQ_FULL=1``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.cluster import ClusterHarness
+
+from conftest import FULL_SCALE
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+OUTPUT_PATH = os.path.join(REPO_ROOT, "BENCH_service.json")
+
+#: Submissions per phase ("thousands of concurrent submissions": 2x this).
+REQUESTS = 2000 if FULL_SCALE else 1000
+#: Concurrent client threads hammering the router.
+CLIENTS = 32
+#: Per-shard pending-jobs high-water mark — low enough that the distinct
+#: flood provokes admission control.
+MAX_PENDING = 8
+#: Give up on one submission after this many 429 rounds (a safety valve;
+#: the retry loop normally converges long before).
+MAX_RETRIES = 200
+
+
+def identical_payload():
+    return {"name": "load-identical",
+            "benchmarks": ["scenario:clifford_t:n=4,depth=3"],
+            "schedulers": ["rescq"], "seeds": 4,
+            "config": {"mst_period": 10, "mst_latency": 10}}
+
+
+def distinct_payload(index):
+    # Scenario seeds start at 10000 so no distinct job ever shares a
+    # fingerprint with the identical phase's default-seed scenario.
+    return {"name": f"load-distinct-{index}",
+            "benchmarks": [
+                f"scenario:clifford_t:n=4,depth=3,seed={10000 + index}"],
+            "schedulers": ["rescq"], "seeds": 1,
+            "config": {"mst_period": 10, "mst_latency": 10}}
+
+
+def percentile(samples, q):
+    ordered = sorted(samples)
+    return ordered[min(len(ordered) - 1, int(q * len(ordered)))]
+
+
+def _submit_until_accepted(cluster, payload):
+    """One client submission: retry on 429 following Retry-After.
+
+    Returns ``(latency_of_successful_request, rejections_seen, summary)``.
+    """
+    rejections = 0
+    for _attempt in range(MAX_RETRIES):
+        start = time.perf_counter()
+        status, headers, body = cluster.request("POST", "/experiments",
+                                                payload)
+        latency = time.perf_counter() - start
+        if status == 200:
+            summary = json.loads(body.decode().splitlines()[-1])
+            return latency, rejections, summary
+        if status != 429:
+            raise AssertionError(
+                f"unexpected HTTP {status}: {body[:200]!r}")
+        rejections += 1
+        # Back off, but cap the hint so a laptop-scale run stays snappy.
+        time.sleep(min(float(headers.get("retry-after", "1")), 0.05))
+    raise AssertionError(f"submission never accepted after "
+                         f"{MAX_RETRIES} retries")
+
+
+def _run_phase(cluster, payloads):
+    latencies = []
+    rejections = 0
+    totals = {"jobs": 0, "executed": 0, "cache_hits": 0, "deduped": 0}
+    with ThreadPoolExecutor(max_workers=CLIENTS) as clients:
+        outcomes = list(clients.map(
+            lambda payload: _submit_until_accepted(cluster, payload),
+            payloads))
+    for latency, rejected, summary in outcomes:
+        latencies.append(latency)
+        rejections += rejected
+        for key in totals:
+            totals[key] += summary.get(key, 0)
+    attempts = len(payloads) + rejections
+    return {
+        "requests": len(payloads),
+        "attempts": attempts,
+        "rejected_429": rejections,
+        "rate_429": round(rejections / attempts, 4),
+        "jobs": totals["jobs"],
+        "executed": totals["executed"],
+        "cache_hits": totals["cache_hits"],
+        "deduped": totals["deduped"],
+        "dedup_efficiency": round(
+            1.0 - totals["executed"] / max(1, totals["jobs"]), 4),
+        "latency_s": {
+            "p50": round(percentile(latencies, 0.50), 4),
+            "p90": round(percentile(latencies, 0.90), 4),
+            "p99": round(percentile(latencies, 0.99), 4),
+        },
+    }
+
+
+def test_bench_service_load():
+    with ClusterHarness(shards=2, max_workers=2,
+                        max_pending=MAX_PENDING,
+                        retry_after=0.05) as cluster:
+        identical = _run_phase(
+            cluster, [identical_payload() for _ in range(REQUESTS)])
+        distinct = _run_phase(
+            cluster, [distinct_payload(index) for index in range(REQUESTS)])
+        status, _headers, data = cluster.request("GET", "/stats")
+        assert status == 200
+        stats = json.loads(data)
+
+    # The identical flood must collapse onto (nearly) one execution per
+    # unique job: 4 unique jobs over REQUESTS * 4 submitted jobs.
+    assert identical["executed"] <= 8, identical
+    assert identical["dedup_efficiency"] > 0.99, identical
+    # The distinct flood cannot dedupe at all.
+    assert distinct["executed"] == distinct["jobs"] == REQUESTS, distinct
+    assert distinct["dedup_efficiency"] == 0.0, distinct
+
+    payload = {
+        "benchmark": "service",
+        "full_scale": FULL_SCALE,
+        "config": {"shards": 2, "workers_per_shard": 2,
+                   "clients": CLIENTS, "requests_per_phase": REQUESTS,
+                   "max_pending": MAX_PENDING},
+        "identical": identical,
+        "distinct": distinct,
+        "cluster": stats["cluster"],
+        "router": stats["router"],
+    }
+    with open(OUTPUT_PATH, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    print()
+    for phase_name, phase in (("identical", identical),
+                              ("distinct", distinct)):
+        print(f"[bench-service] {phase_name}: "
+              f"{phase['requests']} requests, "
+              f"dedup_efficiency={phase['dedup_efficiency']}, "
+              f"p50={phase['latency_s']['p50']}s "
+              f"p99={phase['latency_s']['p99']}s, "
+              f"429s={phase['rejected_429']} "
+              f"(rate {phase['rate_429']})")
+    print(f"[bench-service] wrote {OUTPUT_PATH}")

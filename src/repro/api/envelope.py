@@ -15,12 +15,20 @@ envelope that wraps the spec with delivery options::
 (fingerprint + resolution source) to the NDJSON stream.  It defaults to
 off so that repeated submissions of the same spec produce byte-identical
 row streams — the property the service e2e test pins.
+
+``indices`` restricts the submission to a **sub-plan**: the server expands
+the spec as usual (expansion is deterministic, so every process derives the
+identical job plan from the same spec) and runs only the jobs at the given
+plan positions.  This is the shard fan-out wire format of the
+:class:`~repro.cluster.router.ShardRouter` — shipping ``(spec, indices)``
+instead of serialised jobs keeps the protocol canonical and tiny — but it
+works for any client that wants a slice of a plan.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Mapping, Optional
+from typing import Dict, Mapping, Optional, Tuple
 
 from .spec import ExperimentSpec, SpecValidationError
 
@@ -39,8 +47,12 @@ class SubmissionEnvelope:
     spec: ExperimentSpec
     request_id: Optional[str] = None
     include_status: bool = False
+    #: Plan positions to run (``None`` = the whole plan).  Required to be
+    #: strictly increasing so a sub-plan's row stream maps back onto plan
+    #: positions unambiguously.
+    indices: Optional[Tuple[int, ...]] = None
 
-    _KEYS = ("spec", "request_id", "include_status")
+    _KEYS = ("spec", "request_id", "include_status", "indices")
 
     @classmethod
     def from_payload(cls, payload: Mapping) -> "SubmissionEnvelope":
@@ -66,11 +78,37 @@ class SubmissionEnvelope:
                 raise EnvelopeError(
                     f"include_status must be a boolean, "
                     f"got {include_status!r}")
+            indices = payload.get("indices")
+            if indices is not None:
+                indices = cls._check_indices(indices)
             return cls(spec=ExperimentSpec.from_dict(payload["spec"]),
                        request_id=request_id,
-                       include_status=include_status)
+                       include_status=include_status,
+                       indices=indices)
         except SpecValidationError as exc:
             raise EnvelopeError(str(exc)) from None
+
+    @staticmethod
+    def _check_indices(indices) -> Tuple[int, ...]:
+        if not isinstance(indices, (list, tuple)):
+            raise EnvelopeError(
+                f"indices must be a list of plan positions, got {indices!r}")
+        checked = []
+        for index in indices:
+            if isinstance(index, bool) or not isinstance(index, int) \
+                    or index < 0:
+                raise EnvelopeError(
+                    f"indices entries must be non-negative integers, "
+                    f"got {index!r}")
+            if checked and index <= checked[-1]:
+                raise EnvelopeError(
+                    f"indices must be strictly increasing, got {index} "
+                    f"after {checked[-1]}")
+            checked.append(index)
+        if not checked:
+            raise EnvelopeError("indices is empty; omit it to run the "
+                                "whole plan")
+        return tuple(checked)
 
     def to_dict(self) -> Dict[str, object]:
         payload: Dict[str, object] = {"spec": self.spec.to_dict()}
@@ -78,6 +116,8 @@ class SubmissionEnvelope:
             payload["request_id"] = self.request_id
         if self.include_status:
             payload["include_status"] = True
+        if self.indices is not None:
+            payload["indices"] = list(self.indices)
         return payload
 
 
@@ -128,6 +168,10 @@ class SubmissionReport:
     cache_hits: int
     deduped: int
     request_id: Optional[str] = None
+    #: Jobs that failed (router streams keep going past a failed shard and
+    #: account for the loss here).  Serialised only when non-zero so healthy
+    #: summaries keep their historical byte layout.
+    errors: int = 0
 
     def to_dict(self) -> Dict[str, object]:
         payload: Dict[str, object] = {
@@ -140,6 +184,8 @@ class SubmissionReport:
         }
         if self.request_id is not None:
             payload["request_id"] = self.request_id
+        if self.errors:
+            payload["errors"] = self.errors
         return payload
 
     @classmethod
@@ -151,4 +197,5 @@ class SubmissionReport:
             cache_hits=int(payload.get("cache_hits", 0)),
             deduped=int(payload.get("deduped", 0)),
             request_id=payload.get("request_id"),
+            errors=int(payload.get("errors", 0)),
         )

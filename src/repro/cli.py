@@ -28,11 +28,28 @@ Subcommands
     Run the sharded experiment service: an HTTP endpoint that accepts
     :class:`~repro.api.spec.ExperimentSpec` JSON on ``POST /experiments``
     and streams results back as NDJSON, deduplicating identical jobs
-    against a shared result cache and across concurrent requests.
+    against a shared result cache and across concurrent requests.  With
+    ``--max-pending`` the service refuses work over its pending-jobs
+    high-water mark with ``429`` + ``Retry-After`` instead of queueing
+    unboundedly; with ``--cache`` it also serves the ``/cache`` peer
+    protocol so other processes can share its cache tier.
+``route``
+    Run the cluster shard router in front of N ``serve`` instances:
+    rendezvous-hashes each planned job onto its owning shard, fans
+    sub-plans out, and merges the NDJSON streams back into one plan-ordered
+    response (see :mod:`repro.cluster`).
 ``cache``
     Inspect or maintain a result cache: ``stats``, ``gc --older-than AGE``
-    and ``verify`` work uniformly over both the directory and the SQLite
-    backend.
+    and ``verify`` work uniformly over the directory, SQLite and
+    ``http://`` peer backends.
+
+Both ``serve`` and ``route`` print a machine-parsable readiness line on
+stdout once their socket is bound::
+
+    RESCQ_READY role=serve host=127.0.0.1 port=43017
+
+ending in the actually-bound port, so scripts driving ``--port 0``
+(ephemeral ports) read the port from that line instead of grepping logs.
 
 ``run`` and ``sweep`` are thin spec builders: each constructs the equivalent
 :class:`~repro.api.spec.ExperimentSpec` and executes it through
@@ -152,10 +169,12 @@ def build_parser() -> argparse.ArgumentParser:
                               help="TCP port (0 picks a free port)")
     serve_parser.add_argument("--jobs", type=int, default=None, metavar="N",
                               help="worker processes (default: CPU count)")
-    serve_parser.add_argument("--cache", default=None, metavar="PATH",
+    serve_parser.add_argument("--cache", default=None, metavar="SPEC",
                               help="shared result cache: a directory, a "
-                                   "*.sqlite/*.db file, or an explicit "
-                                   "dir:PATH / sqlite:PATH spec")
+                                   "*.sqlite/*.db file, an explicit "
+                                   "dir:PATH / sqlite:PATH spec, an "
+                                   "http://host:port cache peer, or a "
+                                   "NEAR|FAR tier composition")
     serve_parser.add_argument("--job-timeout", type=float, default=None,
                               metavar="SECONDS",
                               help="kill a single simulation after this many "
@@ -163,6 +182,34 @@ def build_parser() -> argparse.ArgumentParser:
     serve_parser.add_argument("--max-attempts", type=int, default=2,
                               help="tries a job gets when its worker process "
                                    "dies mid-run (default: 2)")
+    serve_parser.add_argument("--max-pending", type=int, default=None,
+                              metavar="N",
+                              help="admission-control high-water mark: "
+                                   "refuse new submissions with 429 while "
+                                   "N or more jobs are pending (default: "
+                                   "unbounded)")
+    serve_parser.add_argument("--retry-after", type=float, default=1.0,
+                              metavar="SECONDS",
+                              help="Retry-After hint sent with 429 "
+                                   "admission refusals (default: 1)")
+
+    route_parser = sub.add_parser(
+        "route", help="run the cluster shard router over serve instances")
+    route_parser.add_argument("shards", nargs="+", metavar="URL",
+                              help="backend serve base URLs, e.g. "
+                                   "http://127.0.0.1:8765")
+    route_parser.add_argument("--host", default="127.0.0.1")
+    route_parser.add_argument("--port", type=int, default=8766,
+                              help="TCP port (0 picks a free port)")
+    route_parser.add_argument("--connect-timeout", type=float, default=5.0,
+                              metavar="SECONDS",
+                              help="per-shard connect budget before the "
+                                   "router retries the next-ranked shard "
+                                   "(default: 5)")
+    route_parser.add_argument("--probe-timeout", type=float, default=2.0,
+                              metavar="SECONDS",
+                              help="per-shard /healthz and /stats probe "
+                                   "budget (default: 2)")
 
     cache_parser = sub.add_parser(
         "cache", help="inspect or maintain a result cache")
@@ -172,8 +219,9 @@ def build_parser() -> argparse.ArgumentParser:
                                    "entry (exit 1 if corrupt)")
     cache_parser.add_argument("path",
                               help="cache location: a directory, a "
-                                   "*.sqlite/*.db file, or an explicit "
-                                   "dir:PATH / sqlite:PATH spec")
+                                   "*.sqlite/*.db file, an explicit "
+                                   "dir:PATH / sqlite:PATH spec, or an "
+                                   "http://host:port cache peer")
     cache_parser.add_argument("--older-than", default=None, metavar="AGE",
                               help="gc cutoff age, e.g. 45s, 30m, 12h or 7d "
                                    "(bare numbers are seconds)")
@@ -196,7 +244,7 @@ def _engine_from_args(args: argparse.Namespace) -> ExecutionEngine:
         raise SystemExit("--jobs must be >= 1")
     try:
         return build_engine(jobs=args.jobs, cache=args.cache)
-    except (OSError, sqlite3.Error) as exc:
+    except (OSError, ValueError, sqlite3.Error) as exc:
         raise SystemExit(f"--cache {args.cache!r} is not usable: {exc}")
 
 
@@ -385,15 +433,17 @@ def _command_serve(args: argparse.Namespace) -> int:
     if args.cache:
         try:
             cache = open_cache_backend(args.cache)
-        except (OSError, sqlite3.Error) as exc:
+        except (OSError, ValueError, sqlite3.Error) as exc:
             raise SystemExit(f"--cache {args.cache!r} is not usable: {exc}")
     try:
         executor = ServiceExecutor(max_workers=args.jobs,
                                    job_timeout=args.job_timeout,
                                    max_attempts=args.max_attempts)
+        service = ExperimentService(executor=executor, cache=cache,
+                                    max_pending=args.max_pending,
+                                    retry_after=args.retry_after)
     except ValueError as exc:
         raise SystemExit(f"serve: {exc}")
-    service = ExperimentService(executor=executor, cache=cache)
     server = ExperimentServer(service, host=args.host, port=args.port)
 
     async def _serve() -> None:
@@ -406,14 +456,57 @@ def _command_serve(args: argparse.Namespace) -> int:
                 pass
         await server.start()
         print(f"[serve] listening on http://{server.host}:{server.port} "
-              f"({executor.describe()}, cache={args.cache or 'off'})",
+              f"({executor.describe()}, cache={args.cache or 'off'}, "
+              f"max_pending={args.max_pending or 'unbounded'})",
               flush=True)
+        # Machine-parsable readiness line; port last so scripts can read it
+        # with a bare `sed 's/.*port=//'`.
+        print(f"RESCQ_READY role=serve host={server.host} "
+              f"port={server.port}", flush=True)
         await stop.wait()
         print("[serve] draining...", flush=True)
         await server.stop(drain=True)
         print(f"[serve] stopped; {service.describe()}", flush=True)
 
     asyncio.run(_serve())
+    return 0
+
+
+def _command_route(args: argparse.Namespace) -> int:
+    import asyncio
+    import signal
+
+    from .cluster import ShardRouter
+
+    try:
+        router = ShardRouter(args.shards, host=args.host, port=args.port,
+                             connect_timeout=args.connect_timeout,
+                             probe_timeout=args.probe_timeout)
+    except ValueError as exc:
+        raise SystemExit(f"route: {exc}")
+
+    async def _route() -> None:
+        loop = asyncio.get_event_loop()
+        stop = asyncio.Event()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, stop.set)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass
+        await router.start()
+        print(f"[route] routing over {len(router.shards)} shard(s): "
+              f"{', '.join(router.shards)}", flush=True)
+        print(f"RESCQ_READY role=route host={router.host} "
+              f"port={router.port}", flush=True)
+        await stop.wait()
+        print("[route] draining...", flush=True)
+        await router.stop()
+        stats = router.stats
+        print(f"[route] stopped; requests={stats.requests} "
+              f"jobs={stats.jobs} retried={stats.retried} "
+              f"rejected={stats.rejected} failed={stats.failed}", flush=True)
+
+    asyncio.run(_route())
     return 0
 
 
@@ -440,13 +533,14 @@ def _command_cache(args: argparse.Namespace) -> int:
 
     from .exec.cache import open_cache_backend
 
-    location = args.path.partition(":")[2] if args.path.startswith(
-        ("dir:", "sqlite:")) else args.path
-    if not os.path.exists(location):
-        raise SystemExit(f"cache: no cache at {args.path!r}")
+    if not args.path.startswith("http://") and "|" not in args.path:
+        location = args.path.partition(":")[2] if args.path.startswith(
+            ("dir:", "sqlite:")) else args.path
+        if not os.path.exists(location):
+            raise SystemExit(f"cache: no cache at {args.path!r}")
     try:
         backend = open_cache_backend(args.path)
-    except (OSError, sqlite3.Error) as exc:
+    except (OSError, ValueError, sqlite3.Error) as exc:
         raise SystemExit(f"cache: cannot open {args.path!r}: {exc}")
     try:
         if args.action == "stats":
@@ -489,6 +583,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _command_prep(args)
     if args.command == "serve":
         return _command_serve(args)
+    if args.command == "route":
+        return _command_route(args)
     if args.command == "cache":
         return _command_cache(args)
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover

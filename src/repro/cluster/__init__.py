@@ -1,0 +1,26 @@
+"""repro.cluster: shard a ``rescq serve`` fleet behind one front end.
+
+PR 6's :mod:`repro.service` made a single host deduplicate perfectly; this
+package makes N such hosts act as *one* deduplicating service:
+
+* :mod:`~repro.cluster.hashring` — rendezvous (HRW) hashing of job
+  fingerprints onto shard URLs, giving a stable, coordination-free
+  placement with a natural next-ranked fallback order;
+* :mod:`~repro.cluster.router` — the ``rescq route`` asyncio front end:
+  expands a spec, fans per-shard sub-plans out over the wire, and merges
+  the NDJSON row streams back into one canonical, plan-ordered response;
+* :mod:`~repro.cluster.harness` — an in-process N-shard + router cluster
+  used by the tests and the service load benchmark.
+
+Cross-shard result sharing uses the cache peer protocol from
+:class:`~repro.exec.cache.HttpCache` / the server's ``/cache`` routes, not
+anything in this package: shards stay shared-nothing, the router stays
+stateless, and the only coordination point is the write-once cache tier.
+"""
+
+from .harness import ClusterHarness
+from .hashring import hrw_score, rank_nodes
+from .router import RouterStats, ShardRouter
+
+__all__ = ["ClusterHarness", "RouterStats", "ShardRouter", "hrw_score",
+           "rank_nodes"]

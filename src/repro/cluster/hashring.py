@@ -1,0 +1,47 @@
+"""Rendezvous (highest-random-weight) hashing of jobs onto shards.
+
+Every placement decision is a pure function of ``(node, key)``: each node
+is scored against the key and the nodes are ranked by descending score.
+The winner owns the key; the runner-up is the natural fallback when the
+winner is unreachable.  Compared with a consistent-hash ring this needs no
+virtual nodes, no ring state and no coordination — every router instance
+(and every test) derives the identical ranking from the shard URL list
+alone — while still moving only ``~1/N`` of the keys when a shard joins or
+leaves.
+
+Scores are the first 8 bytes of ``SHA-256(node || NUL || key)``, so
+placement is stable across processes, hosts and Python versions (no
+``hash()`` randomisation).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import List, Sequence
+
+__all__ = ["hrw_score", "rank_nodes"]
+
+
+def hrw_score(node: str, key: str) -> int:
+    """The rendezvous weight of ``node`` for ``key`` (64-bit, deterministic).
+
+    The NUL separator keeps the node/key boundary unambiguous —
+    ``("ab", "c")`` and ``("a", "bc")`` hash differently.
+    """
+    digest = hashlib.sha256(
+        node.encode("utf-8") + b"\x00" + key.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+def rank_nodes(nodes: Sequence[str], key: str) -> List[str]:
+    """All ``nodes`` ranked by descending weight for ``key``.
+
+    ``rank_nodes(nodes, key)[0]`` is the owner; successive entries are the
+    bounded-retry fallback order.  Ties (astronomically unlikely with
+    distinct node names) break on the node name so the ranking stays total
+    and deterministic.
+    """
+    if not nodes:
+        raise ValueError("rank_nodes needs at least one node")
+    return sorted(nodes, key=lambda node: (hrw_score(node, key), node),
+                  reverse=True)

@@ -1,0 +1,470 @@
+"""The ``rescq route`` shard router: N serve instances, one front end.
+
+The router owns no executor and no cache — it is a stateless fan-out/merge
+layer over a fleet of :class:`~repro.service.server.ExperimentServer`
+shards:
+
+1. **Expand.**  An incoming spec is validated and expanded locally (plan
+   expansion is deterministic, so the router and every shard derive the
+   identical job list from the same spec bytes).
+2. **Place.**  Each job's fingerprint is rendezvous-hashed onto the shard
+   list (:func:`~repro.cluster.hashring.rank_nodes`), so identical jobs —
+   within one request, across requests, across *routers* — always land on
+   the same shard and hit its single-flight/cache layers.  A shard that
+   refuses TCP connections is retried to the next-ranked shard, bounded by
+   the shard count.
+3. **Fan out.**  Each shard receives one ``POST /experiments`` whose
+   envelope carries the original spec plus ``indices`` — the plan positions
+   it owns.  No circuits cross the wire.
+4. **Merge.**  The per-shard NDJSON streams are merged back into plan
+   order.  Data rows are passed through as raw bytes (preserving the
+   byte-identical-rows property of the single-server service); per-shard
+   trailing summaries are absorbed and re-emitted as one cluster-wide
+   summary.
+
+Shard-level refusals happen *before* the router commits to a 200: a shard
+answering 429 (admission control) propagates as 429 + ``Retry-After``; any
+other non-200 becomes a 502.  Once streaming has begun, a dying shard
+degrades to per-job ``{"type": "error", ...}`` records instead of a torn
+response.
+
+``GET /healthz`` probes every shard and reports ``ok``/``degraded`` (503);
+``GET /stats`` aggregates cluster-wide executed/cache-hit/dedup counts.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..api.envelope import EnvelopeError, SubmissionEnvelope, SubmissionReport
+from ..api.spec import SpecValidationError
+from ..canonical import canonical_dumps
+from ..service.httpcore import (HttpError, http_request, iter_ndjson,
+                                open_http_stream, parse_http_url,
+                                read_request, send_head, send_json, send_line)
+from .hashring import rank_nodes
+
+__all__ = ["RouterStats", "ShardRouter"]
+
+
+@dataclass
+class RouterStats:
+    """Cumulative router-side accounting (shard counters live on shards)."""
+
+    requests: int = 0       # submissions accepted for fan-out
+    jobs: int = 0           # plan positions routed
+    retried: int = 0        # positions re-routed after a shard connect failure
+    rejected: int = 0       # submissions refused with 429 (shard admission)
+    failed: int = 0         # submissions that died before streaming (502/400)
+    stream_errors: int = 0  # error records forwarded or synthesised mid-stream
+
+    def snapshot(self) -> Dict[str, int]:
+        return {
+            "requests": self.requests,
+            "jobs": self.jobs,
+            "retried": self.retried,
+            "rejected": self.rejected,
+            "failed": self.failed,
+            "stream_errors": self.stream_errors,
+        }
+
+
+class ShardRouter:
+    """Route experiment submissions across a fleet of serve shards."""
+
+    def __init__(self, shards: Sequence[str], host: str = "127.0.0.1",
+                 port: int = 8766, connect_timeout: float = 5.0,
+                 probe_timeout: float = 2.0) -> None:
+        if not shards:
+            raise ValueError("a router needs at least one shard URL")
+        parsed = {}
+        for url in shards:
+            normalised = url.rstrip("/")
+            parsed[normalised] = parse_http_url(normalised)  # raises ValueError
+        if len(parsed) != len(shards):
+            raise ValueError(f"duplicate shard URLs in {list(shards)}")
+        self.shards: Tuple[str, ...] = tuple(parsed)
+        self._endpoints: Dict[str, Tuple[str, int, str]] = parsed
+        self.host = host
+        self.port = port
+        self.connect_timeout = connect_timeout
+        self.probe_timeout = probe_timeout
+        self.stats = RouterStats()
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._handlers: set = set()
+
+    # -- lifecycle -------------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind and start accepting connections; updates ``self.port``."""
+        self._server = await asyncio.start_server(
+            self._on_connection, host=self.host, port=self.port)
+        for sock in self._server.sockets or ():
+            self.port = sock.getsockname()[1]
+            break
+
+    async def stop(self) -> None:
+        """Stop accepting and finish in-flight requests."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if self._handlers:
+            await asyncio.gather(*list(self._handlers),
+                                 return_exceptions=True)
+
+    @property
+    def in_flight_requests(self) -> int:
+        return len(self._handlers)
+
+    # -- connection handling ---------------------------------------------------
+
+    def _on_connection(self, reader: asyncio.StreamReader,
+                       writer: asyncio.StreamWriter) -> None:
+        task = asyncio.ensure_future(self._handle(reader, writer))
+        self._handlers.add(task)
+        task.add_done_callback(self._handlers.discard)
+
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        try:
+            try:
+                method, path, _headers, body = await read_request(reader)
+                await self._route(method, path, body, writer)
+            except HttpError as exc:
+                await send_json(writer, exc.status, {"error": exc.message},
+                                headers=exc.headers)
+            except (asyncio.IncompleteReadError, ConnectionError):
+                pass
+            except Exception as exc:  # noqa: BLE001 - last-resort handler
+                try:
+                    await send_json(
+                        writer, 500, {"error": f"internal error: {exc}"})
+                except (ConnectionError, RuntimeError):
+                    pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, RuntimeError):
+                pass
+
+    async def _route(self, method: str, path: str, body: bytes,
+                     writer: asyncio.StreamWriter) -> None:
+        path = path.split("?", 1)[0]
+        if path == "/healthz":
+            if method != "GET":
+                raise HttpError(405, "use GET for /healthz")
+            await self._handle_healthz(writer)
+        elif path == "/stats":
+            if method != "GET":
+                raise HttpError(405, "use GET for /stats")
+            await self._handle_stats(writer)
+        elif path in ("/experiments", "/"):
+            if method != "POST":
+                raise HttpError(
+                    405, "submit an ExperimentSpec with POST /experiments")
+            await self._handle_submission(body, writer)
+        else:
+            raise HttpError(
+                404, f"unknown path {path!r}; routes: POST /experiments, "
+                     f"GET /healthz, GET /stats")
+
+    # -- health / stats --------------------------------------------------------
+
+    async def _probe(self, url: str) -> Tuple[str, Optional[dict]]:
+        host, port, base = self._endpoints[url]
+        try:
+            status, _headers, data = await http_request(
+                host, port, "GET", f"{base}/healthz",
+                timeout=self.probe_timeout)
+        except (OSError, asyncio.TimeoutError) as exc:
+            return f"unreachable: {exc}", None
+        if status != 200:
+            return f"unhealthy: HTTP {status}", None
+        try:
+            return "ok", json.loads(data.decode("utf-8"))
+        except ValueError:
+            return "unhealthy: bad healthz payload", None
+
+    async def _handle_healthz(self, writer: asyncio.StreamWriter) -> None:
+        probes = await asyncio.gather(
+            *(self._probe(url) for url in self.shards))
+        shard_states = {url: state
+                        for url, (state, _payload) in zip(self.shards,
+                                                          probes)}
+        healthy = all(state == "ok" for state in shard_states.values())
+        payload = {"status": "ok" if healthy else "degraded",
+                   "shards": shard_states}
+        await send_json(writer, 200 if healthy else 503, payload)
+
+    async def _shard_snapshot(self, url: str) -> Optional[dict]:
+        host, port, base = self._endpoints[url]
+        try:
+            status, _headers, data = await http_request(
+                host, port, "GET", f"{base}/stats",
+                timeout=self.probe_timeout)
+            if status != 200:
+                return None
+            return json.loads(data.decode("utf-8"))
+        except (OSError, asyncio.TimeoutError, ValueError):
+            return None
+
+    async def _handle_stats(self, writer: asyncio.StreamWriter) -> None:
+        snapshots = await asyncio.gather(
+            *(self._shard_snapshot(url) for url in self.shards))
+        cluster = {"requests": 0, "jobs": 0, "executed": 0, "cache_hits": 0,
+                   "deduped": 0, "errors": 0, "rejected": 0}
+        shard_stats: Dict[str, object] = {}
+        for url, snapshot in zip(self.shards, snapshots):
+            if snapshot is None:
+                shard_stats[url] = None
+                continue
+            shard_stats[url] = snapshot
+            for key in cluster:
+                value = snapshot.get(key)
+                if isinstance(value, int):
+                    cluster[key] += value
+        await send_json(writer, 200, {
+            "router": self.stats.snapshot(),
+            "cluster": cluster,
+            "shards": shard_stats,
+        })
+
+    # -- submission fan-out / merge --------------------------------------------
+
+    async def _handle_submission(self, body: bytes,
+                                 writer: asyncio.StreamWriter) -> None:
+        try:
+            payload = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise HttpError(400, f"body is not valid JSON: {exc}") from None
+        try:
+            envelope = SubmissionEnvelope.from_payload(payload)
+        except EnvelopeError as exc:
+            raise HttpError(400, str(exc)) from None
+        loop = asyncio.get_event_loop()
+
+        def _plan() -> Tuple[int, Dict[int, str]]:
+            jobs = envelope.spec.validate().expand()
+            positions = (list(envelope.indices)
+                         if envelope.indices is not None
+                         else list(range(len(jobs))))
+            if positions and positions[-1] >= len(jobs):
+                raise EnvelopeError(
+                    f"indices entry {positions[-1]} is out of range for a "
+                    f"plan of {len(jobs)} job(s)")
+            return len(jobs), {pos: jobs[pos].fingerprint()
+                               for pos in positions}
+
+        try:
+            _plan_size, fingerprints = await loop.run_in_executor(None, _plan)
+        except SpecValidationError as exc:
+            raise HttpError(400, str(exc)) from None
+        except EnvelopeError as exc:
+            raise HttpError(400, str(exc)) from None
+
+        self.stats.requests += 1
+        self.stats.jobs += len(fingerprints)
+        streams = await self._open_shard_streams(envelope, fingerprints)
+        await self._merge_streams(envelope, fingerprints, streams, writer)
+
+    def _sub_envelope(self, envelope: SubmissionEnvelope,
+                      positions: Sequence[int]) -> bytes:
+        sub = SubmissionEnvelope(spec=envelope.spec,
+                                 include_status=envelope.include_status,
+                                 indices=tuple(sorted(positions)))
+        return (canonical_dumps(sub.to_dict())).encode("utf-8")
+
+    async def _open_shard_streams(
+            self, envelope: SubmissionEnvelope,
+            fingerprints: Dict[int, str],
+    ) -> List[Tuple[str, List[int], asyncio.StreamReader,
+                    asyncio.StreamWriter]]:
+        """Phase A: place every position and open one stream per shard.
+
+        Completes (or raises) *before* the client sees any response bytes,
+        so shard refusals map onto clean status codes: a shard 429
+        propagates as 429 + ``Retry-After``; other shard errors become 502.
+        Connect-level failures mark the shard dead for this request and
+        re-route its positions to each position's next-ranked live shard.
+        """
+        rankings = {pos: rank_nodes(list(self.shards), fingerprint)
+                    for pos, fingerprint in fingerprints.items()}
+        dead: set = set()
+        pending = set(fingerprints)
+        streams: List[Tuple[str, List[int], asyncio.StreamReader,
+                            asyncio.StreamWriter]] = []
+
+        async def _abort(exc: HttpError) -> None:
+            for _url, _positions, _reader, shard_writer in streams:
+                shard_writer.close()
+            if exc.status == 429:
+                self.stats.rejected += 1
+            else:
+                self.stats.failed += 1
+            raise exc
+
+        while pending:
+            groups: Dict[str, List[int]] = {}
+            for pos in sorted(pending):
+                targets = [url for url in rankings[pos] if url not in dead]
+                if not targets:
+                    await _abort(HttpError(
+                        502, f"no shard reachable for job "
+                             f"{fingerprints[pos]} (all of "
+                             f"{list(self.shards)} failed)"))
+                groups.setdefault(targets[0], []).append(pos)
+
+            async def _open(url: str, positions: List[int]):
+                host, port, base = self._endpoints[url]
+                body = self._sub_envelope(envelope, positions)
+                return await open_http_stream(
+                    host, port, "POST", f"{base}/experiments", body=body,
+                    connect_timeout=self.connect_timeout, head_timeout=None)
+
+            opened = await asyncio.gather(
+                *(_open(url, positions)
+                  for url, positions in groups.items()),
+                return_exceptions=True)
+            failures: List[HttpError] = []
+            for (url, positions), outcome in zip(groups.items(), opened):
+                if isinstance(outcome, (OSError, asyncio.TimeoutError)):
+                    # Connect-level failure: re-route these positions to
+                    # their next-ranked shards on the next pass.
+                    dead.add(url)
+                    self.stats.retried += len(positions)
+                    continue
+                if isinstance(outcome, BaseException):
+                    failures.append(HttpError(
+                        502, f"shard {url} failed: {outcome}"))
+                    continue
+                status, headers, reader, shard_writer = outcome
+                if status == 200:
+                    streams.append((url, positions, reader, shard_writer))
+                    pending.difference_update(positions)
+                    continue
+                data = await reader.read()
+                shard_writer.close()
+                if status == 429:
+                    failures.append(HttpError(
+                        429,
+                        _error_message(data, f"shard {url} refused the "
+                                             f"sub-plan (admission)"),
+                        headers={"Retry-After":
+                                 headers.get("retry-after", "1")}))
+                else:
+                    failures.append(HttpError(
+                        502, f"shard {url} answered HTTP {status}: "
+                             f"{_error_message(data, 'no detail')}"))
+            if failures:
+                # 429 beats 502 for the client: it carries Retry-After and
+                # means "back off", which subsumes a concurrent shard fault.
+                failures.sort(key=lambda exc: exc.status != 429)
+                await _abort(failures[0])
+        return streams
+
+    async def _merge_streams(
+            self, envelope: SubmissionEnvelope,
+            fingerprints: Dict[int, str],
+            streams: List[Tuple[str, List[int], asyncio.StreamReader,
+                                asyncio.StreamWriter]],
+            writer: asyncio.StreamWriter) -> None:
+        """Phase B: stream the merged rows in plan order, then one summary."""
+        await send_head(writer, 200, content_type="application/x-ndjson")
+        queue: asyncio.Queue = asyncio.Queue()
+        summaries: Dict[str, dict] = {}
+        pumps = [asyncio.ensure_future(
+                     self._pump(url, positions, reader, shard_writer,
+                                queue, summaries, fingerprints))
+                 for url, positions, reader, shard_writer in streams]
+        expected = sorted(fingerprints)
+        buffered: Dict[int, Tuple[bytes, bool]] = {}
+        next_index = 0
+        errors = 0
+        remaining = len(pumps)
+        try:
+            while remaining:
+                item = await queue.get()
+                if item is None:
+                    remaining -= 1
+                    continue
+                position, line, is_error = item
+                buffered[position] = (line, is_error)
+                while (next_index < len(expected)
+                       and expected[next_index] in buffered):
+                    line, is_error = buffered.pop(expected[next_index])
+                    if is_error:
+                        errors += 1
+                        self.stats.stream_errors += 1
+                    writer.write(line)
+                    await writer.drain()
+                    next_index += 1
+        finally:
+            for pump in pumps:
+                pump.cancel()
+            await asyncio.gather(*pumps, return_exceptions=True)
+
+        executed = sum(s.get("executed", 0) for s in summaries.values())
+        cache_hits = sum(s.get("cache_hits", 0) for s in summaries.values())
+        deduped = sum(s.get("deduped", 0) for s in summaries.values())
+        report = SubmissionReport(name=envelope.spec.name,
+                                  jobs=len(expected),
+                                  executed=executed,
+                                  cache_hits=cache_hits,
+                                  deduped=deduped,
+                                  request_id=envelope.request_id,
+                                  errors=errors)
+        await send_line(writer, report.to_dict())
+
+    async def _pump(self, url: str, positions: List[int],
+                    reader: asyncio.StreamReader,
+                    shard_writer: asyncio.StreamWriter,
+                    queue: asyncio.Queue, summaries: Dict[str, dict],
+                    fingerprints: Dict[int, str]) -> None:
+        """Read one shard's stream; map its rows back onto plan positions.
+
+        The shard preserves sub-plan order, so its i-th non-summary line is
+        the row for ``positions[i]`` — data rows pass through as raw bytes.
+        If the shard dies mid-stream, every unfilled position gets a
+        synthesised error record instead of silently vanishing.
+        """
+        index = 0
+        try:
+            async for line in iter_ndjson(reader):
+                try:
+                    record = json.loads(line)
+                except ValueError:
+                    continue
+                if (isinstance(record, dict)
+                        and record.get("type") == "summary"):
+                    summaries[url] = record
+                    continue
+                if index < len(positions):
+                    is_error = (isinstance(record, dict)
+                                and record.get("type") == "error")
+                    await queue.put((positions[index], bytes(line), is_error))
+                    index += 1
+        finally:
+            shard_writer.close()
+            for position in positions[index:]:
+                record = {"type": "error",
+                          "fingerprint": fingerprints[position],
+                          "message": f"shard {url} disconnected before "
+                                     f"returning this job"}
+                line = (canonical_dumps(record) + "\n").encode("utf-8")
+                await queue.put((position, line, True))
+            await queue.put(None)
+
+
+def _error_message(data: bytes, fallback: str) -> str:
+    try:
+        payload = json.loads(data.decode("utf-8"))
+        message = payload.get("error")
+        if isinstance(message, str) and message:
+            return message
+    except (ValueError, AttributeError, UnicodeDecodeError):
+        pass
+    return fallback

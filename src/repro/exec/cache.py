@@ -18,24 +18,36 @@ Two backends implement the :class:`CacheBackend` protocol:
   concurrent reader/writer *processes*.  Write-once via
   ``INSERT OR IGNORE``; richer stats/GC/integrity queries come for free
   from SQL.
+* :class:`HttpCache` — a client for the ``/cache/<fingerprint>`` peer
+  protocol served by :class:`~repro.service.server.ExperimentServer`.  The
+  peer's local backend enforces write-once, so N processes (or N cluster
+  shards) sharing one peer keep the exactly-once store guarantee over the
+  network.
+* :class:`TieredCache` — read-through/write-through composition of a near
+  (usually local) and a far (usually shared/network) tier; the far tier is
+  authoritative for write-once verdicts and listings.
 
 :func:`open_cache_backend` picks a backend from a CLI-friendly spec string
-(``.sqlite``/``.db`` suffix or an explicit ``sqlite:``/``dir:`` prefix), so
-every ``--cache`` flag accepts either backend uniformly.
+(``.sqlite``/``.db`` suffix, an explicit ``sqlite:``/``dir:`` prefix, an
+``http://`` peer URL, or a ``near|far`` tier composition), so every
+``--cache`` flag accepts every backend uniformly.
 """
 
 from __future__ import annotations
 
 import abc
+import http.client
 import json
 import os
+import re
 import sqlite3
 import tempfile
 import threading
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterator, List, Optional, Union
+from typing import Iterator, List, Optional, Tuple, Union
+from urllib.parse import urlsplit
 
 from ..canonical import canonical_dumps
 from ..sim.results import SimulationResult
@@ -46,10 +58,16 @@ __all__ = [
     "CacheCheck",
     "CacheStats",
     "DirectoryCache",
+    "HttpCache",
     "ResultCache",
     "SQLiteCache",
+    "TieredCache",
     "open_cache_backend",
 ]
+
+#: Fingerprints are SHA-256 hex digests; the peer protocol rejects anything
+#: else before it touches the path namespace.
+FINGERPRINT_PATTERN = re.compile(r"^[0-9a-f]{6,128}$")
 
 
 @dataclass
@@ -432,18 +450,240 @@ class SQLiteCache(CacheBackend):
         return f"cache[sqlite:{self.path}] {self.stats.describe()}"
 
 
+class HttpCache(CacheBackend):
+    """A client for the ``/cache/<fingerprint>`` peer protocol.
+
+    Points at an :class:`~repro.service.server.ExperimentServer` started
+    with a cache backend; that peer's *local* backend enforces the
+    write-once guarantee, so any number of processes or cluster shards
+    sharing one peer still store each fingerprint exactly once (``put``
+    returns ``True`` iff the peer answered ``201 Created``).
+
+    One request per call over a fresh connection (the peer speaks
+    ``Connection: close``), synchronous on purpose: cache calls happen on
+    executor threads, never on the event loop.  A dead peer degrades
+    *reads* to misses — a cluster keeps computing without its shared tier —
+    while mutation calls raise ``OSError`` so callers notice lost writes.
+    """
+
+    def __init__(self, url: str, timeout: float = 10.0) -> None:
+        self.url = url
+        self.host, self.port, self.base = self._parse(url)
+        self.timeout = timeout
+        self.stats = CacheStats()
+
+    @staticmethod
+    def _parse(url: str) -> Tuple[str, int, str]:
+        split = urlsplit(url)
+        if split.scheme != "http":
+            raise ValueError(
+                f"cache peer URLs must use http:// (the peer protocol is "
+                f"loopback/LAN plumbing), got {url!r}")
+        if not split.hostname:
+            raise ValueError(f"cache peer URL {url!r} has no host")
+        port = split.port if split.port is not None else 80
+        return split.hostname, port, split.path.rstrip("/")
+
+    def _request(self, method: str, path: str,
+                 body: Optional[bytes] = None) -> Tuple[int, bytes]:
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout)
+        try:
+            headers = {"Connection": "close"}
+            if body is not None:
+                headers["Content-Type"] = "application/json"
+            connection.request(method, self.base + path, body=body,
+                               headers=headers)
+            response = connection.getresponse()
+            return response.status, response.read()
+        except http.client.HTTPException as exc:
+            raise OSError(f"cache peer {self.url} protocol error: "
+                          f"{exc}") from exc
+        finally:
+            connection.close()
+
+    def _check(self, fingerprint: str) -> str:
+        if not FINGERPRINT_PATTERN.match(fingerprint):
+            raise ValueError(f"malformed cache fingerprint {fingerprint!r} "
+                             f"(want lowercase hex)")
+        return fingerprint
+
+    def get(self, fingerprint: str) -> Optional[SimulationResult]:
+        try:
+            status, data = self._request(
+                "GET", f"/cache/{self._check(fingerprint)}")
+        except OSError:
+            self.stats.misses += 1
+            return None
+        if status != 200:
+            self.stats.misses += 1
+            return None
+        try:
+            result = _deserialise(data.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError, KeyError, TypeError):
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return result
+
+    def put(self, fingerprint: str, result: SimulationResult) -> bool:
+        payload = _serialise(result).encode("utf-8")
+        status, data = self._request(
+            "PUT", f"/cache/{self._check(fingerprint)}", body=payload)
+        if status not in (200, 201):
+            raise OSError(f"cache peer {self.url} refused the store "
+                          f"({status}): {data[:200].decode('utf-8', 'replace')}")
+        stored = status == 201
+        if stored:
+            self.stats.stores += 1
+        return stored
+
+    def __contains__(self, fingerprint: str) -> bool:
+        try:
+            status, _data = self._request(
+                "HEAD", f"/cache/{self._check(fingerprint)}")
+        except OSError:
+            return False
+        return status == 200
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.entries())
+
+    def entries(self) -> Iterator[CacheEntry]:
+        status, data = self._request("GET", "/cache")
+        if status != 200:
+            raise OSError(f"cache peer {self.url} listing failed ({status})")
+        for item in json.loads(data.decode("utf-8")).get("entries", []):
+            yield CacheEntry(fingerprint=str(item["fingerprint"]),
+                             size_bytes=int(item["size_bytes"]),
+                             stored_at=float(item["stored_at"]))
+
+    def clear(self) -> int:
+        status, data = self._request("DELETE", "/cache")
+        if status != 200:
+            raise OSError(f"cache peer {self.url} clear failed ({status})")
+        return int(json.loads(data.decode("utf-8"))["removed"])
+
+    def gc(self, older_than: float) -> int:
+        body = canonical_dumps({"older_than": older_than}).encode("utf-8")
+        status, data = self._request("POST", "/cache/gc", body=body)
+        if status != 200:
+            raise OSError(f"cache peer {self.url} gc failed ({status})")
+        return int(json.loads(data.decode("utf-8"))["removed"])
+
+    def verify(self) -> CacheCheck:
+        status, data = self._request("POST", "/cache/verify")
+        if status != 200:
+            raise OSError(f"cache peer {self.url} verify failed ({status})")
+        payload = json.loads(data.decode("utf-8"))
+        return CacheCheck(entries=int(payload["entries"]),
+                          ok=int(payload["ok"]),
+                          corrupt=[str(f) for f in payload["corrupt"]])
+
+    def describe(self) -> str:
+        return f"cache[{self.url}] {self.stats.describe()}"
+
+
+class TieredCache(CacheBackend):
+    """Read-through/write-through composition of a near and a far tier.
+
+    The canonical cluster arrangement is ``near`` = a private local backend
+    (fast, per-shard) and ``far`` = a shared :class:`HttpCache` peer.  Reads
+    try ``near`` first and backfill it from ``far`` on a far hit; writes go
+    to both tiers.  The **far tier is authoritative**: ``put``'s write-once
+    verdict, ``entries``/``len`` and ``verify`` all come from ``far``, so
+    racing writers behind separate :class:`TieredCache` instances sharing
+    one far tier still report exactly one creating store between them.
+    """
+
+    def __init__(self, near: CacheBackend, far: CacheBackend) -> None:
+        self.near = near
+        self.far = far
+        self.stats = CacheStats()
+
+    def get(self, fingerprint: str) -> Optional[SimulationResult]:
+        result = self.near.get(fingerprint)
+        if result is not None:
+            self.stats.hits += 1
+            return result
+        result = self.far.get(fingerprint)
+        if result is None:
+            self.stats.misses += 1
+            return None
+        try:
+            self.near.put(fingerprint, result)
+        except Exception:  # noqa: BLE001 - backfill is best-effort
+            pass
+        self.stats.hits += 1
+        return result
+
+    def put(self, fingerprint: str, result: SimulationResult) -> bool:
+        try:
+            self.near.put(fingerprint, result)
+        except Exception:  # noqa: BLE001 - near tier is an optimisation
+            pass
+        stored = self.far.put(fingerprint, result)
+        if stored:
+            self.stats.stores += 1
+        return stored
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return fingerprint in self.near or fingerprint in self.far
+
+    def __len__(self) -> int:
+        return len(self.far)
+
+    def entries(self) -> Iterator[CacheEntry]:
+        return self.far.entries()
+
+    def clear(self) -> int:
+        self.near.clear()
+        return self.far.clear()
+
+    def gc(self, older_than: float) -> int:
+        self.near.gc(older_than)
+        return self.far.gc(older_than)
+
+    def verify(self) -> CacheCheck:
+        return self.far.verify()
+
+    def close(self) -> None:
+        self.near.close()
+        self.far.close()
+
+    def describe(self) -> str:
+        return (f"cache[tiered near=({self.near.describe()}) "
+                f"far=({self.far.describe()})] {self.stats.describe()}")
+
+
 def open_cache_backend(spec: Union[str, Path, CacheBackend]) -> CacheBackend:
     """Build a backend from a ``--cache`` spec string.
 
     ``sqlite:PATH`` and ``dir:PATH`` select a backend explicitly; a bare
     path ending in ``.sqlite``/``.sqlite3``/``.db`` opens the SQLite
-    backend, anything else the directory backend.  A :class:`CacheBackend`
-    instance passes through unchanged, so programmatic callers can hand a
-    pre-built backend to the same entry points.
+    backend, anything else the directory backend.  ``http://host:port``
+    opens the network peer client.  ``NEAR|FAR`` composes two backends into
+    a :class:`TieredCache` (e.g. ``dir:/tmp/near|http://127.0.0.1:8765``).
+    A :class:`CacheBackend` instance passes through unchanged, so
+    programmatic callers can hand a pre-built backend to the same entry
+    points.
     """
     if isinstance(spec, CacheBackend):
         return spec
     text = str(spec)
+    if "|" in text:
+        near_spec, _sep, far_spec = text.partition("|")
+        if not near_spec or not far_spec or "|" in far_spec:
+            raise ValueError(
+                f"tiered cache spec must be exactly 'NEAR|FAR', got "
+                f"{text!r}")
+        return TieredCache(near=open_cache_backend(near_spec),
+                           far=open_cache_backend(far_spec))
+    if text.startswith("http://"):
+        return HttpCache(text)
+    if text.startswith("https://"):
+        raise ValueError("cache peers speak plain http:// only (the peer "
+                         "protocol is loopback/LAN plumbing)")
     if text.startswith("sqlite:"):
         return SQLiteCache(text[len("sqlite:"):])
     if text.startswith("dir:"):

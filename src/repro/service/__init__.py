@@ -8,17 +8,21 @@ Layers, bottom up:
   identical job submitted concurrently runs exactly once;
 * :mod:`~repro.service.service` — cache + single-flight + executor behind
   one :class:`ExperimentService` object;
+* :mod:`~repro.service.httpcore` — the shared HTTP/1.1 transport dialect
+  (framing, limits, the stdlib asyncio client used by the cluster router);
 * :mod:`~repro.service.server` — the asyncio HTTP front end (NDJSON
-  streaming, ``/healthz``, ``/stats``).
+  streaming, ``/healthz``, ``/stats``, the ``/cache`` peer protocol).
 """
 
 from .executor import (JobFailedError, JobTimeoutError, ServiceExecutor,
                        WorkerCrashError)
 from .server import ExperimentServer
-from .service import ExperimentService, ResolvedJob, ServiceStats
+from .service import (AdmissionError, ExperimentService, ResolvedJob,
+                      ServiceStats)
 from .singleflight import SingleFlight
 
 __all__ = [
+    "AdmissionError",
     "ExperimentServer",
     "ExperimentService",
     "JobFailedError",

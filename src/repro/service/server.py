@@ -1,7 +1,9 @@
 """The asyncio HTTP front end of ``rescq serve``.
 
 A deliberately small HTTP/1.1 implementation on ``asyncio.start_server`` —
-no framework, no new dependencies.  Three routes:
+no framework, no new dependencies.  The transport dialect (framing, limits,
+status table) lives in :mod:`repro.service.httpcore`, shared with the
+cluster's :class:`~repro.cluster.router.ShardRouter`.  Routes:
 
 ``POST /experiments``
     Body: an :class:`~repro.api.spec.ExperimentSpec` JSON document or a
@@ -10,12 +12,26 @@ no framework, no new dependencies.  Three routes:
     materialise, then one trailing ``{"type": "summary", ...}`` record with
     the request's executed/cache/dedup counts.  Identical specs submitted
     twice produce byte-identical row streams (the summary line differs —
-    the second run executes nothing).
+    the second run executes nothing).  An envelope ``indices`` field runs a
+    sub-plan: only the jobs at those plan positions (the shard fan-out wire
+    format).  When the service is over its admission high-water mark the
+    submission is refused with ``429`` + ``Retry-After`` before any job is
+    queued.
 ``GET /healthz``
     Liveness: ``{"status": "ok"}``.
 ``GET /stats``
-    The service's cumulative counters, in-flight table size and executor
-    queue depth.
+    The service's cumulative counters, in-flight table size, executor queue
+    depth, and admission mark.
+``/cache/...``
+    The cache **peer protocol**, available when the service has a cache
+    backend (404 otherwise).  ``GET/HEAD /cache/<fingerprint>`` fetch/probe
+    one entry; ``PUT /cache/<fingerprint>`` stores write-once (``201`` if
+    this call created the entry, ``200`` if it already existed — the remote
+    analogue of :meth:`~repro.exec.cache.CacheBackend.put`'s boolean);
+    ``GET /cache`` lists entries; ``DELETE /cache`` clears;
+    ``POST /cache/gc`` garbage-collects by age.  This is what the
+    :class:`~repro.exec.cache.HttpCache` client speaks, letting N processes
+    or cluster shards share this server's backend as one write-once tier.
 
 Connections are ``Connection: close`` — each request gets a fresh
 connection, which keeps the framing trivial and streams naturally (the end
@@ -26,35 +42,23 @@ from __future__ import annotations
 
 import asyncio
 import json
-from typing import Dict, Optional, Tuple
+import math
+from typing import Dict, Optional
 
 from ..api.envelope import EnvelopeError, SubmissionEnvelope, SubmissionReport
 from ..api.resultset import ResultRow
 from ..api.spec import SpecValidationError
-from ..canonical import canonical_dumps
-from .service import ExperimentService
+from ..exec.cache import FINGERPRINT_PATTERN, _deserialise, _serialise
+from .httpcore import (HttpError, read_request, send_head, send_json,
+                       send_line)
+from .service import AdmissionError, ExperimentService
 
 __all__ = ["ExperimentServer"]
 
-_MAX_REQUEST_LINE = 8192
-_MAX_HEADERS = 100
-_MAX_BODY = 16 * 1024 * 1024
 
-_STATUS_TEXT = {
-    200: "OK",
-    400: "Bad Request",
-    404: "Not Found",
-    405: "Method Not Allowed",
-    413: "Payload Too Large",
-    500: "Internal Server Error",
-}
-
-
-class _HttpError(Exception):
-    def __init__(self, status: int, message: str) -> None:
-        super().__init__(message)
-        self.status = status
-        self.message = message
+def _retry_after_header(exc: AdmissionError) -> Dict[str, str]:
+    """Admission refusals carry a whole-second ``Retry-After`` (RFC 9110)."""
+    return {"Retry-After": str(max(1, math.ceil(exc.retry_after)))}
 
 
 class ExperimentServer:
@@ -112,17 +116,16 @@ class ExperimentServer:
                       writer: asyncio.StreamWriter) -> None:
         try:
             try:
-                method, path, headers = await self._read_head(reader)
-                body = await self._read_body(reader, headers)
+                method, path, _headers, body = await read_request(reader)
                 await self._route(method, path, body, writer)
-            except _HttpError as exc:
-                await self._send_json(writer, exc.status,
-                                      {"error": exc.message})
+            except HttpError as exc:
+                await send_json(writer, exc.status, {"error": exc.message},
+                                headers=exc.headers)
             except (asyncio.IncompleteReadError, ConnectionError):
                 pass
             except Exception as exc:  # noqa: BLE001 - last-resort handler
                 try:
-                    await self._send_json(
+                    await send_json(
                         writer, 500, {"error": f"internal error: {exc}"})
                 except (ConnectionError, RuntimeError):
                     pass
@@ -133,43 +136,6 @@ class ExperimentServer:
             except (ConnectionError, RuntimeError):
                 pass
 
-    async def _read_head(self, reader: asyncio.StreamReader
-                         ) -> Tuple[str, str, Dict[str, str]]:
-        line = await reader.readline()
-        if not line:
-            raise _HttpError(400, "empty request")
-        if len(line) > _MAX_REQUEST_LINE:
-            raise _HttpError(400, "request line too long")
-        parts = line.decode("latin-1").strip().split()
-        if len(parts) != 3:
-            raise _HttpError(400, f"malformed request line {line!r}")
-        method, path, _version = parts
-        headers: Dict[str, str] = {}
-        for _ in range(_MAX_HEADERS):
-            line = await reader.readline()
-            if line in (b"\r\n", b"\n", b""):
-                return method.upper(), path, headers
-            if len(line) > _MAX_REQUEST_LINE:
-                raise _HttpError(400, "header line too long")
-            name, _sep, value = line.decode("latin-1").partition(":")
-            headers[name.strip().lower()] = value.strip()
-        raise _HttpError(400, "too many headers")
-
-    async def _read_body(self, reader: asyncio.StreamReader,
-                         headers: Dict[str, str]) -> bytes:
-        length_text = headers.get("content-length")
-        if not length_text:
-            return b""
-        try:
-            length = int(length_text)
-        except ValueError:
-            raise _HttpError(400,
-                             f"bad Content-Length {length_text!r}") from None
-        if length < 0 or length > _MAX_BODY:
-            raise _HttpError(413, f"body of {length} bytes exceeds the "
-                                  f"{_MAX_BODY} byte limit")
-        return await reader.readexactly(length)
-
     # -- routing ---------------------------------------------------------------
 
     async def _route(self, method: str, path: str, body: bytes,
@@ -177,21 +143,23 @@ class ExperimentServer:
         path = path.split("?", 1)[0]
         if path == "/healthz":
             if method != "GET":
-                raise _HttpError(405, "use GET for /healthz")
-            await self._send_json(writer, 200, {"status": "ok"})
+                raise HttpError(405, "use GET for /healthz")
+            await send_json(writer, 200, {"status": "ok"})
         elif path == "/stats":
             if method != "GET":
-                raise _HttpError(405, "use GET for /stats")
-            await self._send_json(writer, 200, self.service.snapshot())
+                raise HttpError(405, "use GET for /stats")
+            await send_json(writer, 200, self.service.snapshot())
         elif path in ("/experiments", "/"):
             if method != "POST":
-                raise _HttpError(
+                raise HttpError(
                     405, "submit an ExperimentSpec with POST /experiments")
             await self._handle_submission(body, writer)
+        elif path == "/cache" or path.startswith("/cache/"):
+            await self._route_cache(method, path, body, writer)
         else:
-            raise _HttpError(
+            raise HttpError(
                 404, f"unknown path {path!r}; routes: POST /experiments, "
-                     f"GET /healthz, GET /stats")
+                     f"GET /healthz, GET /stats, /cache/...")
 
     # -- submission ------------------------------------------------------------
 
@@ -200,11 +168,11 @@ class ExperimentServer:
         try:
             payload = json.loads(body.decode("utf-8"))
         except (UnicodeDecodeError, json.JSONDecodeError) as exc:
-            raise _HttpError(400, f"body is not valid JSON: {exc}") from None
+            raise HttpError(400, f"body is not valid JSON: {exc}") from None
         try:
             envelope = SubmissionEnvelope.from_payload(payload)
         except EnvelopeError as exc:
-            raise _HttpError(400, str(exc)) from None
+            raise HttpError(400, str(exc)) from None
         loop = asyncio.get_event_loop()
         try:
             # Validation + expansion builds circuits and layouts; keep the
@@ -213,11 +181,21 @@ class ExperimentServer:
             jobs = await loop.run_in_executor(
                 None, lambda: envelope.spec.validate().expand())
         except SpecValidationError as exc:
-            raise _HttpError(400, str(exc)) from None
+            raise HttpError(400, str(exc)) from None
+        if envelope.indices is not None:
+            if envelope.indices[-1] >= len(jobs):
+                raise HttpError(
+                    400, f"indices entry {envelope.indices[-1]} is out of "
+                         f"range for a plan of {len(jobs)} job(s)")
+            jobs = [jobs[index] for index in envelope.indices]
 
-        resolved = self.service.submit_plan(jobs)
-        await self._send_head(writer, 200,
-                              content_type="application/x-ndjson")
+        try:
+            resolved = self.service.submit_plan(jobs)
+        except AdmissionError as exc:
+            raise HttpError(429, str(exc),
+                            headers=_retry_after_header(exc)) from None
+        await send_head(writer, 200, content_type="application/x-ndjson")
+        errors = 0
         for item in resolved:
             try:
                 result = await asyncio.wrap_future(item.future)
@@ -226,8 +204,9 @@ class ExperimentServer:
             except Exception as exc:  # noqa: BLE001 - stream the failure
                 record = {"type": "error", "fingerprint": item.fingerprint,
                           "message": str(exc)}
-                await self._send_line(writer, record)
-                return
+                await send_line(writer, record)
+                errors += 1
+                continue
             row = ResultRow(benchmark=item.job.benchmark,
                             scheduler=item.job.scheduler_name,
                             seed=item.job.seed,
@@ -235,35 +214,98 @@ class ExperimentServer:
                             result=result).summary()
             if envelope.include_status:
                 row["status"] = item.status().to_dict()
-            await self._send_line(writer, row)
+            await send_line(writer, row)
         counts = self.service.counts_for(resolved)
         report = SubmissionReport(name=envelope.spec.name,
                                   request_id=envelope.request_id,
+                                  errors=errors,
                                   **counts)
-        await self._send_line(writer, report.to_dict())
+        await send_line(writer, report.to_dict())
 
-    # -- response writing ------------------------------------------------------
+    # -- cache peer protocol ---------------------------------------------------
 
-    async def _send_head(self, writer: asyncio.StreamWriter, status: int,
-                         content_type: str,
-                         content_length: Optional[int] = None) -> None:
-        lines = [f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}",
-                 f"Content-Type: {content_type}",
-                 "Connection: close"]
-        if content_length is not None:
-            lines.append(f"Content-Length: {content_length}")
-        writer.write(("\r\n".join(lines) + "\r\n\r\n").encode("latin-1"))
-        await writer.drain()
+    def _cache_backend(self):
+        backend = self.service.cache
+        if backend is None:
+            raise HttpError(404, "this server has no cache backend; start "
+                                 "rescq serve with --cache to serve peers")
+        return backend
 
-    async def _send_line(self, writer: asyncio.StreamWriter,
-                         record: Dict[str, object]) -> None:
-        writer.write((canonical_dumps(record) + "\n").encode("utf-8"))
-        await writer.drain()
+    @staticmethod
+    def _cache_fingerprint(path: str) -> str:
+        fingerprint = path[len("/cache/"):]
+        if not FINGERPRINT_PATTERN.match(fingerprint):
+            raise HttpError(400, f"malformed cache fingerprint "
+                                 f"{fingerprint!r} (want lowercase hex)")
+        return fingerprint
 
-    async def _send_json(self, writer: asyncio.StreamWriter, status: int,
-                         payload: Dict[str, object]) -> None:
-        body = (canonical_dumps(payload) + "\n").encode("utf-8")
-        await self._send_head(writer, status, "application/json",
-                              content_length=len(body))
-        writer.write(body)
-        await writer.drain()
+    async def _route_cache(self, method: str, path: str, body: bytes,
+                           writer: asyncio.StreamWriter) -> None:
+        backend = self._cache_backend()
+        loop = asyncio.get_event_loop()
+        if path == "/cache":
+            if method == "GET":
+                listing = await loop.run_in_executor(
+                    None, lambda: [
+                        {"fingerprint": entry.fingerprint,
+                         "size_bytes": entry.size_bytes,
+                         "stored_at": entry.stored_at}
+                        for entry in backend.entries()])
+                await send_json(writer, 200, {"entries": listing})
+            elif method == "DELETE":
+                removed = await loop.run_in_executor(None, backend.clear)
+                await send_json(writer, 200, {"removed": removed})
+            else:
+                raise HttpError(405, "use GET (list) or DELETE (clear) "
+                                     "for /cache")
+            return
+        if path == "/cache/gc":
+            if method != "POST":
+                raise HttpError(405, "use POST for /cache/gc")
+            try:
+                payload = json.loads(body.decode("utf-8")) if body else {}
+                older_than = float(payload.get("older_than", 0.0))
+            except (UnicodeDecodeError, ValueError, AttributeError) as exc:
+                raise HttpError(400, f"bad gc request: {exc}") from None
+            removed = await loop.run_in_executor(
+                None, lambda: backend.gc(older_than))
+            await send_json(writer, 200, {"removed": removed})
+            return
+        if path == "/cache/verify":
+            if method != "POST":
+                raise HttpError(405, "use POST for /cache/verify")
+            check = await loop.run_in_executor(None, backend.verify)
+            await send_json(writer, 200,
+                            {"entries": check.entries, "ok": check.ok,
+                             "corrupt": list(check.corrupt)})
+            return
+        fingerprint = self._cache_fingerprint(path)
+        if method in ("GET", "HEAD"):
+            result = await loop.run_in_executor(
+                None, lambda: backend.get(fingerprint))
+            if result is None:
+                raise HttpError(404, f"no cache entry {fingerprint}")
+            if method == "HEAD":
+                await send_head(writer, 200, "application/json",
+                                content_length=0)
+                return
+            payload = (_serialise(result) + "\n").encode("utf-8")
+            await send_head(writer, 200, "application/json",
+                            content_length=len(payload))
+            writer.write(payload)
+            await writer.drain()
+        elif method == "PUT":
+            try:
+                result = await loop.run_in_executor(
+                    None, lambda: _deserialise(body.decode("utf-8")))
+            except (UnicodeDecodeError, ValueError, KeyError,
+                    TypeError) as exc:
+                raise HttpError(
+                    400, f"cache payload does not deserialise: {exc}"
+                ) from None
+            stored = await loop.run_in_executor(
+                None, lambda: backend.put(fingerprint, result))
+            await send_json(writer, 201 if stored else 200,
+                            {"fingerprint": fingerprint, "stored": stored})
+        else:
+            raise HttpError(405, "use GET/HEAD/PUT for /cache/<fingerprint>")

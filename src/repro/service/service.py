@@ -29,7 +29,21 @@ from ..exec.cache import CacheBackend
 from .executor import ServiceExecutor
 from .singleflight import SingleFlight
 
-__all__ = ["ExperimentService", "ResolvedJob", "ServiceStats"]
+__all__ = ["AdmissionError", "ExperimentService", "ResolvedJob",
+           "ServiceStats"]
+
+
+class AdmissionError(RuntimeError):
+    """The service is over its pending-jobs high-water mark; try again later.
+
+    Carries ``retry_after`` (seconds) so HTTP front ends can answer
+    ``429 Too Many Requests`` with a ``Retry-After`` header instead of
+    queueing the request unboundedly.
+    """
+
+    def __init__(self, message: str, retry_after: float = 1.0) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
 
 
 @dataclass
@@ -42,11 +56,13 @@ class ServiceStats:
     cache_hits: int = 0
     deduped: int = 0
     errors: int = 0
+    rejected: int = 0  # requests refused by admission control (HTTP 429)
 
     def describe(self) -> str:
         return (f"requests={self.requests} jobs={self.jobs} "
                 f"executed={self.executed} cache_hits={self.cache_hits} "
-                f"deduped={self.deduped} errors={self.errors}")
+                f"deduped={self.deduped} errors={self.errors} "
+                f"rejected={self.rejected}")
 
 
 @dataclass(frozen=True)
@@ -73,9 +89,23 @@ class ExperimentService:
     """Deduplicating, cache-backed job resolution for the experiment server."""
 
     def __init__(self, executor: Optional[ServiceExecutor] = None,
-                 cache: Optional[CacheBackend] = None) -> None:
+                 cache: Optional[CacheBackend] = None,
+                 max_pending: Optional[int] = None,
+                 retry_after: float = 1.0) -> None:
+        if max_pending is not None and max_pending < 0:
+            raise ValueError("max_pending must be >= 0")
+        if retry_after <= 0:
+            raise ValueError("retry_after must be positive")
         self.executor = executor or ServiceExecutor()
         self.cache = cache
+        #: Admission-control high-water mark on the pending-jobs gauge
+        #: (``executor.queue_depth``: submitted-but-unfinished jobs).  A
+        #: request arriving while the gauge is at or above the mark is
+        #: rejected with :class:`AdmissionError` instead of queued; ``None``
+        #: disables admission control.  One admitted plan may overshoot the
+        #: mark — the bound is on *queueing*, not on plan size.
+        self.max_pending = max_pending
+        self.retry_after = retry_after
         self.singleflight = SingleFlight()
         self.stats = ServiceStats()
         self._stats_lock = threading.Lock()
@@ -127,10 +157,40 @@ class ExperimentService:
                 pass
         self.singleflight.finish(key, result)
 
+    @property
+    def pending_jobs(self) -> int:
+        """The admission-control gauge: submitted-but-unfinished jobs."""
+        return self.executor.queue_depth
+
+    def admit(self, jobs: Sequence) -> None:
+        """Raise :class:`AdmissionError` if the pending gauge is at the mark.
+
+        Deduplicated and cached jobs never reach the executor, so a burst of
+        *identical* submissions sails through admission (the gauge only
+        counts unique in-flight simulations); it is a flood of *distinct*
+        work that trips the mark.
+        """
+        if self.max_pending is None:
+            return
+        pending = self.pending_jobs
+        if pending >= self.max_pending:
+            with self._stats_lock:
+                self.stats.rejected += 1
+            raise AdmissionError(
+                f"{pending} pending job(s) at/above the max_pending="
+                f"{self.max_pending} high-water mark; retry after "
+                f"{self.retry_after:g}s", retry_after=self.retry_after)
+
     def submit_plan(self, jobs: Sequence) -> List[ResolvedJob]:
-        """Resolve a whole job plan, preserving plan order."""
+        """Resolve a whole job plan, preserving plan order.
+
+        Raises :class:`AdmissionError` (without resolving anything) when the
+        pending-jobs gauge is at the high-water mark.
+        """
         with self._stats_lock:
             self.stats.requests += 1
+        self.admit(jobs)
+        with self._stats_lock:
             self.stats.jobs += len(jobs)
         return [self.resolve(job) for job in jobs]
 
@@ -146,9 +206,11 @@ class ExperimentService:
                 "cache_hits": self.stats.cache_hits,
                 "deduped": self.stats.deduped,
                 "errors": self.stats.errors,
+                "rejected": self.stats.rejected,
             }
         stats["in_flight"] = len(self.singleflight)
         stats["queue_depth"] = self.executor.queue_depth
+        stats["max_pending"] = self.max_pending
         if self.cache is not None:
             stats["cache"] = {
                 "hits": self.cache.stats.hits,

@@ -13,11 +13,14 @@ import os
 
 import pytest
 
+from repro.cluster import ClusterHarness
 from repro.exec import ResultCache
 from repro.exec.cache import (
     CacheBackend,
     DirectoryCache,
+    HttpCache,
     SQLiteCache,
+    TieredCache,
     open_cache_backend,
 )
 from repro.sim import GateTrace, SimulationResult
@@ -179,6 +182,59 @@ class TestOpenCacheBackend:
         assert ResultCache is DirectoryCache
         assert issubclass(ResultCache, CacheBackend)
 
+    def test_http_url_is_peer_client(self):
+        backend = open_cache_backend("http://127.0.0.1:8765")
+        assert isinstance(backend, HttpCache)
+        assert (backend.host, backend.port) == ("127.0.0.1", 8765)
+
+    def test_https_is_rejected_with_hint(self):
+        with pytest.raises(ValueError, match="http://"):
+            open_cache_backend("https://127.0.0.1:8765")
+
+    def test_tier_spec_composes_near_and_far(self, tmp_path):
+        backend = open_cache_backend(
+            f"dir:{tmp_path / 'near'}|http://127.0.0.1:8765")
+        assert isinstance(backend, TieredCache)
+        assert isinstance(backend.near, DirectoryCache)
+        assert isinstance(backend.far, HttpCache)
+
+    def test_malformed_tier_spec_is_rejected(self, tmp_path):
+        for bad in ("|x", "x|", "a|b|c"):
+            with pytest.raises(ValueError, match="NEAR|FAR"):
+                open_cache_backend(bad)
+
+
+class TestTieredCache:
+    def tiered(self, tmp_path):
+        near = DirectoryCache(tmp_path / "near")
+        far = DirectoryCache(tmp_path / "far")
+        return TieredCache(near=near, far=far)
+
+    def test_write_through_and_far_authoritative_verdict(self, tmp_path):
+        tiered = self.tiered(tmp_path)
+        assert tiered.put(FP, make_result()) is True
+        assert FP in tiered.near and FP in tiered.far
+        # A second instance sharing only the far tier sees the entry and
+        # reports the write-once verdict from it.
+        other = TieredCache(near=DirectoryCache(tmp_path / "other-near"),
+                            far=DirectoryCache(tmp_path / "far"))
+        assert other.put(FP, make_result()) is False
+        assert len(other) == 1
+
+    def test_read_through_backfills_near_tier(self, tmp_path):
+        tiered = self.tiered(tmp_path)
+        tiered.far.put(FP, make_result())
+        assert FP not in tiered.near
+        assert tiered.get(FP) == make_result()
+        assert FP in tiered.near  # backfilled
+        assert tiered.stats.hits == 1
+
+    def test_clear_and_gc_touch_both_tiers(self, tmp_path):
+        tiered = self.tiered(tmp_path)
+        tiered.put(FP, make_result())
+        assert tiered.clear() == 1
+        assert FP not in tiered.near and FP not in tiered.far
+
 
 # -- multiprocess stress -------------------------------------------------------
 
@@ -186,9 +242,14 @@ def _spec_for(kind, root):
     return f"sqlite:{root}/cache.sqlite" if kind == "sqlite" else f"dir:{root}/cache"
 
 
-def _stress_writer(kind, root, own_fp, barrier, out):
-    """One racing writer process (module-level: must pickle under spawn)."""
-    backend = open_cache_backend(_spec_for(kind, root))
+def _stress_writer(spec, own_fp, barrier, out):
+    """One racing writer process (module-level: must pickle under spawn).
+
+    ``spec`` is any :func:`open_cache_backend` spec string, so the same
+    writer races the directory, SQLite, ``http://`` peer and tiered
+    backends identically.
+    """
+    backend = open_cache_backend(spec)
     expected = make_result()
     barrier.wait()
     shared_stores = 0
@@ -204,19 +265,13 @@ def _stress_writer(kind, root, own_fp, barrier, out):
     out.put((shared_stores, torn))
 
 
-@pytest.mark.parametrize("kind", BACKENDS)
-def test_racing_writers_store_exactly_once(kind, tmp_path):
-    """N spawn processes race one shared and N distinct fingerprints: the
-    shared entry is created exactly once, every distinct entry lands, and
-    no reader ever observes a torn payload."""
+def _run_stress(spec, nprocs=4):
     ctx = multiprocessing.get_context("spawn")
-    nprocs = 4
     barrier = ctx.Barrier(nprocs)
     out = ctx.Queue()
     own_fps = [f"{index:04x}" + "0" * 60 for index in range(nprocs)]
     procs = [ctx.Process(target=_stress_writer,
-                         args=(kind, str(tmp_path), own_fps[index], barrier,
-                               out))
+                         args=(spec, own_fps[index], barrier, out))
              for index in range(nprocs)]
     for proc in procs:
         proc.start()
@@ -224,10 +279,12 @@ def test_racing_writers_store_exactly_once(kind, tmp_path):
     for proc in procs:
         proc.join(timeout=60)
         assert proc.exitcode == 0
-    assert sum(stores for stores, _ in reports) == 1
-    assert sum(torn for _, torn in reports) == 0
+    assert sum(stores for stores, _ in reports) == 1, \
+        "the shared fingerprint must be created exactly once"
+    assert sum(torn for _, torn in reports) == 0, \
+        "no reader may observe a torn payload"
 
-    backend = open_cache_backend(_spec_for(kind, str(tmp_path)))
+    backend = open_cache_backend(spec)
     try:
         assert len(backend) == nprocs + 1
         assert backend.get(FP) == make_result()
@@ -236,3 +293,25 @@ def test_racing_writers_store_exactly_once(kind, tmp_path):
         assert backend.verify().is_healthy
     finally:
         backend.close()
+
+
+@pytest.mark.parametrize("kind", BACKENDS)
+def test_racing_writers_store_exactly_once(kind, tmp_path):
+    """N spawn processes race one shared and N distinct fingerprints: the
+    shared entry is created exactly once, every distinct entry lands, and
+    no reader ever observes a torn payload."""
+    _run_stress(_spec_for(kind, str(tmp_path)))
+
+
+@pytest.mark.parametrize("kind", ("http", "tiered"))
+def test_racing_writers_store_exactly_once_over_http(kind, tmp_path):
+    """The same stress through the network peer protocol: N spawn processes
+    hammer one live cache peer (directly, and behind a local near tier) and
+    the peer's write-once guarantee must hold across the wire."""
+    peer_backend = DirectoryCache(tmp_path / "peer")
+    with ClusterHarness(shards=1, router=False, max_workers=1,
+                        cache_factory=lambda _i: peer_backend) as cluster:
+        peer_url = cluster.shard_urls[0]
+        spec = (peer_url if kind == "http"
+                else f"dir:{tmp_path / 'near'}|{peer_url}")
+        _run_stress(spec)

@@ -21,6 +21,7 @@ from repro.exec import plan_jobs
 from repro.exec.cache import DirectoryCache
 from repro.scheduling import RescqScheduler
 from repro.service import (
+    AdmissionError,
     ExperimentServer,
     ExperimentService,
     JobFailedError,
@@ -68,6 +69,17 @@ class FailJob:
 
     def fingerprint(self):
         return "e" * 64
+
+
+class SlowFailJob:
+    """Fails after a delay, leaving a window for followers to pile on."""
+
+    def run(self):
+        time.sleep(1.0)
+        raise ValueError("slow boom")
+
+    def fingerprint(self):
+        return "d" * 64
 
 
 def make_jobs(seeds=1, mst_period=10):
@@ -246,9 +258,53 @@ class TestExperimentService:
                                     cache=DirectoryCache(tmp_path))
         snapshot = service.snapshot()
         assert set(snapshot) == {"requests", "jobs", "executed", "cache_hits",
-                                 "deduped", "errors", "in_flight",
-                                 "queue_depth", "cache"}
+                                 "deduped", "errors", "rejected",
+                                 "in_flight", "queue_depth", "max_pending",
+                                 "cache"}
         assert snapshot["cache"] == {"hits": 0, "misses": 0, "stores": 0}
+        assert snapshot["max_pending"] is None
+
+    def test_leader_failure_releases_followers_and_retires_key(self, pool):
+        """The SingleFlight leader-failure path, end to end through the
+        service: when the leader's job errors, followers must receive the
+        error (not hang), the fingerprint must be retired, and a later
+        submission must retry with a fresh execution."""
+        service = ExperimentService(executor=pool, cache=None)
+        leader = service.resolve(SlowFailJob())
+        assert leader.source == "executed"
+        follower = service.resolve(SlowFailJob())
+        assert follower.source == "deduped"
+        with pytest.raises(JobFailedError, match="slow boom"):
+            follower.future.result(timeout=30)
+        with pytest.raises(JobFailedError, match="slow boom"):
+            leader.future.result(timeout=30)
+        deadline = time.monotonic() + 5
+        while len(service.singleflight) and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert len(service.singleflight) == 0  # fingerprint retired
+        retry = service.resolve(SlowFailJob())
+        assert retry.source == "executed"  # not deduped onto a dead flight
+        with pytest.raises(JobFailedError, match="slow boom"):
+            retry.future.result(timeout=30)
+
+    def test_admission_rejects_at_the_high_water_mark(self, pool, tmp_path):
+        service = ExperimentService(executor=pool,
+                                    cache=DirectoryCache(tmp_path),
+                                    max_pending=0, retry_after=2.5)
+        with pytest.raises(AdmissionError) as info:
+            service.submit_plan(make_jobs(mst_period=16))
+        assert info.value.retry_after == 2.5
+        assert service.stats.rejected == 1
+        assert service.stats.jobs == 0  # refused before any job was queued
+        service.max_pending = None
+        resolved = service.submit_plan(make_jobs(mst_period=16))
+        assert [item.future.result(timeout=60) for item in resolved]
+
+    def test_admission_arguments_are_validated(self, pool):
+        with pytest.raises(ValueError):
+            ExperimentService(executor=pool, max_pending=-1)
+        with pytest.raises(ValueError):
+            ExperimentService(executor=pool, retry_after=0)
 
     def test_status_record_per_job(self, pool, tmp_path):
         service = ExperimentService(executor=pool,
@@ -274,13 +330,21 @@ def spec_payload(mst_period=10, seeds=2, **envelope):
 
 
 def request(server, method, path, payload=None, raw=None):
+    status, _headers, body = request_full(server, method, path,
+                                          payload=payload, raw=raw)
+    return status, body
+
+
+def request_full(server, method, path, payload=None, raw=None):
     body = raw if raw is not None else (
         json.dumps(payload).encode() if payload is not None else None)
     conn = http.client.HTTPConnection("127.0.0.1", server.port, timeout=300)
     try:
         conn.request(method, path, body=body)
         response = conn.getresponse()
-        return response.status, response.read()
+        headers = {name.lower(): value
+                   for name, value in response.getheaders()}
+        return response.status, headers, response.read()
     finally:
         conn.close()
 
@@ -393,3 +457,73 @@ class TestExperimentServer:
         assert snapshot["jobs"] >= 2
         assert snapshot["in_flight"] == 0
         assert "cache" in snapshot
+
+    def test_oversized_body_is_413_without_reading_it(self, server):
+        """A huge declared Content-Length is refused on the head alone."""
+        conn = http.client.HTTPConnection("127.0.0.1", server.port,
+                                          timeout=30)
+        try:
+            conn.putrequest("POST", "/experiments")
+            conn.putheader("Content-Length", str(64 * 1024 * 1024))
+            conn.endheaders()  # never send the body
+            response = conn.getresponse()
+            assert response.status == 413
+            assert "byte limit" in json.loads(response.read())["error"]
+        finally:
+            conn.close()
+
+    def test_admission_refusal_is_429_with_retry_after(self, server):
+        server.service.max_pending = 0
+        server.service.retry_after = 2.0
+        try:
+            status, headers, data = request_full(
+                server, "POST", "/experiments",
+                payload=spec_payload(mst_period=17))
+            assert status == 429
+            assert headers["retry-after"] == "2"
+            assert "max_pending" in json.loads(data)["error"]
+        finally:
+            server.service.max_pending = None
+            server.service.retry_after = 1.0
+
+    def test_indices_runs_a_sub_plan(self, server):
+        payload = spec_payload(mst_period=18, seeds=3, indices=[1])
+        status, data = request(server, "POST", "/experiments",
+                               payload=payload)
+        assert status == 200
+        *rows, summary = ndjson_lines(data)
+        assert summary["jobs"] == 1
+        assert [row["seed"] for row in rows] == [1]
+
+    def test_out_of_range_indices_is_400(self, server):
+        payload = spec_payload(mst_period=18, seeds=2, indices=[9])
+        status, data = request(server, "POST", "/experiments",
+                               payload=payload)
+        assert status == 400
+        assert "out of range" in json.loads(data)["error"]
+
+    def test_non_increasing_indices_is_400(self, server):
+        payload = spec_payload(mst_period=18, seeds=2, indices=[1, 0])
+        status, data = request(server, "POST", "/experiments",
+                               payload=payload)
+        assert status == 400
+        assert "strictly increasing" in json.loads(data)["error"]
+
+    def test_cache_peer_routes_share_the_service_backend(self, server):
+        status, data = request(server, "GET", "/cache")
+        assert status == 200
+        fingerprints = {entry["fingerprint"]
+                        for entry in json.loads(data)["entries"]}
+        # Jobs executed by earlier tests were published to the backend the
+        # peer routes expose.
+        snapshot = json.loads(request(server, "GET", "/stats")[1])
+        assert len(fingerprints) == snapshot["cache"]["stores"]
+        for fingerprint in fingerprints:
+            status, _data = request(server, "HEAD",
+                                    f"/cache/{fingerprint}")
+            assert status == 200
+
+    def test_cache_route_rejects_malformed_fingerprints(self, server):
+        status, data = request(server, "GET", "/cache/..%2Fescape")
+        assert status == 400
+        assert "lowercase hex" in json.loads(data)["error"]
