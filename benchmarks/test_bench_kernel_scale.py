@@ -1,0 +1,163 @@
+"""Large-fabric scale benchmark — the routing-core trajectory (ISSUE 8).
+
+Where ``test_bench_kernel_throughput`` tracks the small-fabric Figure 10
+workload, this benchmark pins the two scale points the vectorised routing
+core exists for:
+
+* ``tiles1k``  — a 250-qubit clifford+Rz scenario on a 1024-tile STAR
+  fabric (~3.7k gates), run under BOTH the ``vector`` and the reference
+  ``python`` routing backends so the backend comparison is recorded.
+* ``gates100k`` — the same fabric with a >100k-gate circuit, run under the
+  ``vector`` backend only (a single pass already takes ~1 wall-minute; the
+  byte-identical goldens cover python-backend correctness).
+
+Each backend gets a FRESH layout and is timed twice: the ``cold`` run is
+where backends differ (``RoutingIndex.for_layout`` memoises paths, plans
+and attachment candidates on the layout, so a warm run mostly bypasses the
+backend), and the ``warm`` run shows the steady-state seed-sweep cost.
+The regression baseline gates the cold numbers.
+
+Results are merged into ``BENCH_kernel.json`` at the repo root under the
+``scale_points`` key (creating the file when the throughput benchmark has
+not run first).  Normalised throughput uses the same calibration-loop
+yardstick as the throughput benchmark so numbers transfer between hosts.
+
+Regression guard: ``benchmarks/BENCH_kernel_scale_baseline.json`` commits
+the normalised throughput per (point, backend).  With ``RESCQ_BENCH_STRICT=1``
+the benchmark fails when any entry drops more than 20% below baseline.
+Refresh intentionally with::
+
+    RESCQ_BENCH_REBASE=1 PYTHONPATH=src python -m pytest \
+        benchmarks/test_bench_kernel_scale.py -s
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from repro import SimulationConfig
+from repro.scheduling import SCHEDULER_REGISTRY
+from repro.sim.runner import default_layout
+from repro.workloads.scenarios import clifford_rz_circuit
+
+from test_bench_kernel_throughput import (
+    OUTPUT_PATH, REGRESSION_TOLERANCE, _calibration_loop_seconds)
+
+BASELINE_PATH = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                             "BENCH_kernel_scale_baseline.json")
+
+STRICT = bool(int(os.environ.get("RESCQ_BENCH_STRICT", "0")))
+REBASE = bool(int(os.environ.get("RESCQ_BENCH_REBASE", "0")))
+
+#: (name, circuit kwargs, backends, time a warm second run?).  250 data
+#: qubits on the STAR layout is a 32x32 = 1024-tile fabric.
+SCALE_POINTS = (
+    ("tiles1k", dict(n=250, depth=20, seed=3), ("vector", "python"), True),
+    ("gates100k", dict(n=250, depth=560, seed=3), ("vector",), False),
+)
+
+
+def test_bench_kernel_scale():
+    calibration_s = _calibration_loop_seconds()
+
+    points = {}
+    for name, kwargs, backends, warm_round in SCALE_POINTS:
+        circuit = clifford_rz_circuit(**kwargs)
+        row = {"circuit": dict(kwargs), "backends": {}}
+        for backend in backends:
+            # A fresh layout per backend: RoutingIndex caches live on the
+            # layout object, so reusing one would let the second backend
+            # coast on the first one's routing work.
+            layout = default_layout(circuit)
+            tiles = layout.rows * layout.cols
+            assert tiles >= 1000, f"{name}: fabric is only {tiles} tiles"
+            row["tiles"] = tiles
+            row["gates"] = len(circuit.gates)
+            config = SimulationConfig(routing_backend=backend)
+            walls = []
+            for _round in range(2 if warm_round else 1):
+                scheduler = SCHEDULER_REGISTRY.create("rescq")
+                start = time.perf_counter()
+                result = scheduler.run(circuit, layout, config, seed=0)
+                walls.append(time.perf_counter() - start)
+            cold = walls[0]
+            stats = {
+                "cold_wall_s": round(cold, 4),
+                "sim_cycles": result.total_cycles,
+                "cycles_per_sec": round(result.total_cycles / cold, 1),
+                "normalised_throughput": round(
+                    result.total_cycles / cold * calibration_s, 1),
+            }
+            if len(walls) > 1:
+                stats["warm_wall_s"] = round(walls[1], 4)
+            row["backends"][backend] = stats
+        points[name] = row
+
+    assert points["gates100k"]["gates"] >= 100_000
+
+    # Merge into the shared report so scale points live next to the fig10
+    # numbers (the two benchmarks may run in either order, or alone).
+    report = {}
+    if os.path.exists(OUTPUT_PATH):
+        with open(OUTPUT_PATH, "r", encoding="utf-8") as handle:
+            report = json.load(handle)
+    report["scale_points"] = points
+    report.setdefault("calibration_loop_s", round(calibration_s, 5))
+    with open(OUTPUT_PATH, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+
+    print()
+    print(f"calibration loop: {calibration_s * 1000:.1f} ms")
+    for name, row in points.items():
+        for backend, stats in row["backends"].items():
+            warm = (f", warm {stats['warm_wall_s']:.2f}s"
+                    if "warm_wall_s" in stats else "")
+            print(f"{name:>10}/{backend:<7}: {stats['cycles_per_sec']:>8.0f} "
+                  f"cycles/s  (normalised "
+                  f"{stats['normalised_throughput']:.0f}, "
+                  f"cold {stats['cold_wall_s']:.2f}s{warm}, "
+                  f"{row['tiles']} tiles, {row['gates']} gates)")
+    print(f"wrote {OUTPUT_PATH}")
+
+    baseline = None
+    if os.path.exists(BASELINE_PATH):
+        with open(BASELINE_PATH, "r", encoding="utf-8") as handle:
+            baseline = json.load(handle)
+
+    if REBASE or baseline is None:
+        payload = {
+            "machine": "refresh via RESCQ_BENCH_REBASE=1",
+            "calibration_loop_s": round(calibration_s, 5),
+            "normalised_throughput": {
+                f"{name}/{backend}": stats["normalised_throughput"]
+                for name, row in points.items()
+                for backend, stats in row["backends"].items()},
+        }
+        with open(BASELINE_PATH, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=1, sort_keys=True)
+            handle.write("\n")
+        print(f"rebased {BASELINE_PATH}")
+        return
+
+    failures = []
+    for name, row in points.items():
+        for backend, stats in row["backends"].items():
+            reference = baseline["normalised_throughput"].get(
+                f"{name}/{backend}")
+            if reference is None:
+                continue
+            floor = reference * (1.0 - REGRESSION_TOLERANCE)
+            if stats["normalised_throughput"] < floor:
+                failures.append(
+                    f"{name}/{backend}: normalised throughput "
+                    f"{stats['normalised_throughput']:.0f} < {floor:.0f} "
+                    f"(baseline {reference:.0f} - "
+                    f"{REGRESSION_TOLERANCE:.0%})")
+    if failures:
+        message = "kernel scale regression:\n  " + "\n  ".join(failures)
+        if STRICT:
+            raise AssertionError(message)
+        print(f"[warn] {message}")

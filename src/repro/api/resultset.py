@@ -295,7 +295,10 @@ class ResultSet:
         are summed over seeds; rows appear in first-appearance order.  Rows
         whose results carry no profile (the run's config did not set
         ``profile_enabled``, or the result came from a cache hit) are
-        skipped.
+        skipped.  Every ``wall_<phase>_s`` counter other than the inclusive
+        ``wall_total_s`` also gets a ``share_<phase>`` column — the phase's
+        fraction of total wall time — so a perf regression's culprit is
+        readable straight off the table.
         """
         table: List[Dict[str, object]] = []
         for (benchmark, scheduler), group in self.group_by(
@@ -313,9 +316,14 @@ class ResultSet:
             summary: Dict[str, object] = {"benchmark": benchmark,
                                           "scheduler": scheduler,
                                           "runs": profiled_runs}
+            total_wall = totals.get("wall_total_s", 0.0)
             for key in sorted(totals):
                 value = totals[key]
                 summary[key] = round(value, 6) if key.startswith("wall_") else value
+                if (total_wall > 0.0 and key.startswith("wall_")
+                        and key.endswith("_s") and key != "wall_total_s"):
+                    phase = key[len("wall_"):-len("_s")]
+                    summary[f"share_{phase}"] = round(value / total_wall, 4)
             table.append(summary)
         # Same column set and order everywhere (policies emit different
         # counters; a table renderer keyed on the first row must see them all).

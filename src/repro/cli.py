@@ -74,6 +74,7 @@ from .api.registries import DEFAULT_SCHEDULER_NAMES, SCHEDULERS
 from .api.spec import ExperimentSpec, SpecValidationError
 from .circuits import to_artifact_format, to_qasm
 from .exec import ExecutionEngine
+from .lattice import ROUTING_BACKEND_NAMES
 from .rus import PreparationModel
 from .workloads import (
     SCENARIO_FAMILIES,
@@ -117,6 +118,16 @@ def build_parser() -> argparse.ArgumentParser:
                             help="collect and print per-phase kernel "
                                  "counters (simulated cycles per phase, "
                                  "routing/MST wall time)")
+    run_parser.add_argument("--profile-out", metavar="FILE.json", default=None,
+                            help="write the aggregated kernel profile as a "
+                                 "canonical-JSON record to FILE.json "
+                                 "(implies --profile)")
+    run_parser.add_argument("--routing-backend",
+                            choices=ROUTING_BACKEND_NAMES, default=None,
+                            help="shortest-path backend for the routing "
+                                 "index (default: the config default, "
+                                 "'vector'); all backends produce identical "
+                                 "traces")
     _add_engine_arguments(run_parser)
 
     sweep_parser = sub.add_parser("sweep", help="run a sensitivity sweep")
@@ -277,8 +288,11 @@ def _command_run(args: argparse.Namespace) -> int:
     config = {"distance": args.distance,
               "physical_error_rate": args.error_rate,
               "mst_period": args.mst_period}
-    if args.profile:
+    profile = bool(args.profile or args.profile_out)
+    if profile:
         config["profile_enabled"] = True
+    if args.routing_backend is not None:
+        config["routing_backend"] = args.routing_backend
     spec = ExperimentSpec(
         name=args.benchmark,
         benchmarks=(args.benchmark,),
@@ -290,7 +304,7 @@ def _command_run(args: argparse.Namespace) -> int:
     engine = _engine_from_args(args)
     results = _run_spec(spec, engine)
     print(render_experiment(spec, results))
-    if args.profile:
+    if profile:
         rows = results.profile_rows()
         if rows:
             print()
@@ -298,8 +312,32 @@ def _command_run(args: argparse.Namespace) -> int:
         else:
             print("[profile] no profiled results (cache hits carry no "
                   "profile; rerun without --cache)")
+        if args.profile_out:
+            _write_profile_record(args.profile_out, spec, rows)
+            print(f"[profile] wrote {args.profile_out}")
     print(engine.describe())
     return 0
+
+
+def _write_profile_record(path: str, spec: ExperimentSpec, rows) -> None:
+    """Archive the aggregated profile as a canonical-JSON record.
+
+    Canonical serialisation (sorted keys, no NaN, normalised ``-0.0``) keeps
+    the file byte-stable for a given run, so bench jobs can diff archived
+    hot-path breakdowns next to ``BENCH_kernel.json``.
+    """
+    from .canonical import canonical_dumps
+    record = {
+        "kind": "kernel_profile",
+        "benchmark": spec.name,
+        "schedulers": list(spec.schedulers),
+        "seeds": spec.seeds,
+        "config": dict(spec.config),
+        "profile_rows": list(rows),
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(canonical_dumps(record, indent=2))
+        handle.write("\n")
 
 
 def _command_sweep(args: argparse.Namespace) -> int:

@@ -4,12 +4,20 @@ RESCQ's routing metric is the *activity* of each ancilla qubit: the fraction
 of the last ``c`` cycles during which the ancilla was busy.  The tracker
 records busy intervals as they are scheduled and answers window queries at MST
 (re)computation time; old intervals are pruned lazily.
+
+Intervals are stored struct-of-arrays style — three parallel flat lists
+``(slot, start, end)`` plus a position<->slot interning map — so the bulk
+:meth:`ActivityTracker.snapshot` query (one per MST build, over every ancilla)
+runs as a single vectorised clip-and-bincount instead of a per-position python
+loop.  The arithmetic is pure integer clipping, so the numbers are identical
+to the historical per-position scan.
 """
 
 from __future__ import annotations
 
-from collections import deque
-from typing import Deque, Dict, Iterable, Tuple
+from typing import Dict, Iterable, List
+
+import numpy as np
 
 from ..fabric import Position
 
@@ -23,29 +31,38 @@ class ActivityTracker:
         if window <= 0:
             raise ValueError("window must be positive")
         self.window = window
-        self._intervals: Dict[Position, Deque[Tuple[int, int]]] = {}
+        #: Position -> dense slot index (assigned on first record).
+        self._slots: Dict[Position, int] = {}
+        # Parallel interval arrays: interval i is tile _slot_list[i] busy
+        # during [_start_list[i], _end_list[i]).
+        self._slot_list: List[int] = []
+        self._start_list: List[int] = []
+        self._end_list: List[int] = []
 
     def record_busy(self, position: Position, start: int, end: int) -> None:
         """Record that ``position`` is busy during cycles ``[start, end)``."""
         if end <= start:
             return
-        self._intervals.setdefault(position, deque()).append((start, end))
-
-    def _prune(self, position: Position, horizon: int) -> None:
-        intervals = self._intervals.get(position)
-        if not intervals:
-            return
-        while intervals and intervals[0][1] <= horizon:
-            intervals.popleft()
+        slot = self._slots.get(position)
+        if slot is None:
+            slot = len(self._slots)
+            self._slots[position] = slot
+        self._slot_list.append(slot)
+        self._start_list.append(start)
+        self._end_list.append(end)
 
     def busy_cycles_in_window(self, position: Position, now: int) -> int:
         """Number of cycles in ``[now - window, now)`` during which the tile was busy."""
+        slot = self._slots.get(position)
+        if slot is None:
+            return 0
         horizon = now - self.window
-        self._prune(position, horizon)
         busy = 0
-        for start, end in self._intervals.get(position, ()):  # few, recent intervals
-            lo = max(start, horizon)
-            hi = min(end, now)
+        for index, interval_slot in enumerate(self._slot_list):
+            if interval_slot != slot:
+                continue
+            lo = max(self._start_list[index], horizon)
+            hi = min(self._end_list[index], now)
             if hi > lo:
                 busy += hi - lo
         return busy
@@ -59,8 +76,40 @@ class ActivityTracker:
         return min(1.0, busy / effective_window) if effective_window else 0.0
 
     def snapshot(self, positions: Iterable[Position], now: int) -> Dict[Position, float]:
-        """Activity of every listed position at cycle ``now``."""
-        return {position: self.activity(position, now) for position in positions}
+        """Activity of every listed position at cycle ``now`` (one numpy pass)."""
+        if now <= 0 or not self._slot_list:
+            return {position: 0.0 for position in positions}
+        horizon = now - self.window
+        slots = np.asarray(self._slot_list, dtype=np.int64)
+        starts = np.asarray(self._start_list, dtype=np.int64)
+        ends = np.asarray(self._end_list, dtype=np.int64)
+        live = ends > horizon
+        if not live.all():
+            # Lazy prune: intervals fully behind the window can never
+            # contribute again (``now`` is monotonic in a run).
+            slots = slots[live]
+            starts = starts[live]
+            ends = ends[live]
+            self._slot_list = slots.tolist()
+            self._start_list = starts.tolist()
+            self._end_list = ends.tolist()
+        contrib = np.minimum(ends, now) - np.maximum(starts, horizon)
+        np.clip(contrib, 0, None, out=contrib)
+        busy = np.bincount(slots, weights=contrib.astype(np.float64),
+                           minlength=len(self._slots))
+        effective_window = min(self.window, now)
+        slot_of = self._slots.get
+        result: Dict[Position, float] = {}
+        for position in positions:
+            slot = slot_of(position)
+            if slot is None:
+                result[position] = 0.0
+            else:
+                result[position] = min(1.0, int(busy[slot]) / effective_window)
+        return result
 
     def reset(self) -> None:
-        self._intervals.clear()
+        self._slots.clear()
+        self._slot_list.clear()
+        self._start_list.clear()
+        self._end_list.clear()

@@ -7,7 +7,13 @@ A :class:`KernelProfile` accumulates two kinds of counters for one run:
   merges, Hadamards, edge rotations);
 * **wall-time counters** (``wall_*_s``) — real seconds spent in the
   classical-controller phases worth watching (routing queries, MST builds,
-  and the whole run), measured with :func:`time.perf_counter`;
+  and the whole run), measured with :func:`time.perf_counter`.  Nested
+  :meth:`KernelProfile.timer` phases are **exclusive**: time accumulated by
+  an inner timer is subtracted from every enclosing timer, so phase seconds
+  add up without double-counting (an MST build that issues routing queries
+  books the query time under ``routing``, not twice).  ``wall_total_s`` is
+  recorded directly via :meth:`KernelProfile.add_wall` and stays inclusive —
+  it is the denominator for per-phase shares;
 * **event counters** — scheduling passes, processed events, routing queries
   and routing-plan cache hits.
 
@@ -46,13 +52,16 @@ def profile_timer(profile: Optional["KernelProfile"],
 class KernelProfile:
     """Per-phase cycle and wall-time counters for one simulation run."""
 
-    __slots__ = ("wall", "counters")
+    __slots__ = ("wall", "counters", "_frames")
 
     def __init__(self) -> None:
-        #: phase -> accumulated wall seconds.
+        #: phase -> accumulated wall seconds (exclusive of nested timers).
         self.wall: Dict[str, float] = {}
         #: counter name -> accumulated value (simulated cycles or counts).
         self.counters: Dict[str, float] = {}
+        #: Open timer frames: ``[phase, start, child_seconds]`` per nesting
+        #: level, used to make nested phase timers exclusive.
+        self._frames: list = []
 
     def add(self, counter: str, amount: float = 1.0) -> None:
         self.counters[counter] = self.counters.get(counter, 0.0) + amount
@@ -62,12 +71,21 @@ class KernelProfile:
 
     @contextmanager
     def timer(self, phase: str) -> Iterator[None]:
-        """Accumulate the wall time of the enclosed block under ``phase``."""
-        start = time.perf_counter()
+        """Accumulate the *exclusive* wall time of the block under ``phase``.
+
+        Time spent inside nested ``timer`` blocks is attributed to the inner
+        phase only; the enclosing phase books the remainder.
+        """
+        frame = [phase, time.perf_counter(), 0.0]
+        self._frames.append(frame)
         try:
             yield
         finally:
-            self.add_wall(phase, time.perf_counter() - start)
+            elapsed = time.perf_counter() - frame[1]
+            self._frames.pop()
+            self.add_wall(phase, elapsed - frame[2])
+            if self._frames:
+                self._frames[-1][2] += elapsed
 
     def as_dict(self) -> Dict[str, float]:
         """Flatten to the ``SimulationResult.profile`` mapping.

@@ -1,5 +1,11 @@
 """Lattice-surgery operation costs, edge orientation and routing primitives."""
 
+from .backends import (
+    ROUTING_BACKEND_NAMES,
+    RoutingBackend,
+    get_backend,
+    numba_available,
+)
 from .operations import DEFAULT_COSTS, LatticeSurgeryCosts
 from .orientation import OrientationTracker
 from .routing import (
@@ -14,9 +20,13 @@ __all__ = [
     "LatticeSurgeryCosts",
     "DEFAULT_COSTS",
     "OrientationTracker",
+    "ROUTING_BACKEND_NAMES",
+    "RoutingBackend",
     "RoutePlan",
     "RoutingIndex",
     "bfs_ancilla_path",
     "enumerate_cnot_plans",
     "find_shortest_cnot_plan",
+    "get_backend",
+    "numba_available",
 ]

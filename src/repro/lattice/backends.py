@@ -1,0 +1,273 @@
+"""Pluggable shortest-path backends for the routing index.
+
+Every backend answers the same query — the shortest path of free ancilla
+tiles between two ancillas, byte-identical to the reference implementation —
+but with different machinery:
+
+* ``python`` — the reference: the original object-graph FIFO BFS
+  (:func:`~repro.lattice.routing.bfs_ancilla_path`).  Always available,
+  always correct; the other backends are validated against it.
+* ``vector`` — batched level-synchronous BFS over the
+  :class:`~repro.fabric.flat.FlatGrid` int32 neighbour table.  One numpy
+  pass expands a whole frontier; full parent trees are memoised per source
+  (and per layout revision) so repeated goals cost one array walk.
+* ``numba`` — the same flat-array BFS compiled with ``numba.njit``
+  (optional dependency, ``pip install repro[numba]``).  Import-guarded:
+  selecting it without numba installed raises with an install hint.
+
+Exactness argument (why the vector BFS is byte-identical): the reference
+BFS pops nodes FIFO — i.e. in discovery order — and scans neighbours in
+``Edge`` declaration order, so a node's parent is the first (discovery
+order x Edge order) neighbour that reaches it.  The vector expansion
+flattens ``neighbor_table[frontier]`` row-major, which is exactly that
+order, and keeps the *first* occurrence of each newly discovered node
+(``np.unique`` + first-index sort), so every parent assignment matches.
+Parents are never reassigned, so the full parent tree computed without
+early termination reconstructs the same path an early-terminating search
+would have returned.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Set
+
+import numpy as np
+
+from ..fabric import GridLayout, Position
+from ..fabric.flat import FlatGrid
+
+__all__ = ["RoutingBackend", "PythonBackend", "VectorBackend", "NumbaBackend",
+           "ROUTING_BACKEND_NAMES", "get_backend", "numba_available"]
+
+ROUTING_BACKEND_NAMES = ("python", "vector", "numba")
+
+
+def numba_available() -> bool:
+    """True when the optional numba dependency can be imported."""
+    try:
+        import numba  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+class RoutingBackend:
+    """Strategy object answering shortest-ancilla-path queries for one layout.
+
+    A backend instance is owned by one :class:`~repro.lattice.routing.RoutingIndex`
+    and may memoise per-layout-revision state; :meth:`invalidate` is called
+    whenever the layout version moves.
+    """
+
+    name = "abstract"
+
+    def shortest_path(self, layout: GridLayout, start: Position,
+                      goal: Position,
+                      blocked: Optional[Set[Position]] = None
+                      ) -> Optional[List[Position]]:
+        raise NotImplementedError
+
+    def invalidate(self) -> None:
+        """Drop memoised state (the layout mutated)."""
+
+
+class PythonBackend(RoutingBackend):
+    """The pure-python reference BFS."""
+
+    name = "python"
+
+    def shortest_path(self, layout: GridLayout, start: Position,
+                      goal: Position,
+                      blocked: Optional[Set[Position]] = None
+                      ) -> Optional[List[Position]]:
+        from .routing import bfs_ancilla_path
+        return bfs_ancilla_path(layout, start, goal, blocked)
+
+
+class VectorBackend(RoutingBackend):
+    """Batched numpy BFS over the flat neighbour table."""
+
+    name = "vector"
+
+    def __init__(self) -> None:
+        #: source flat index -> full parent array for the current revision.
+        self._parent_trees: Dict[int, np.ndarray] = {}
+        self._tree_version: Optional[int] = None
+
+    def invalidate(self) -> None:
+        self._parent_trees.clear()
+        self._tree_version = None
+
+    # -- the BFS kernel --------------------------------------------------------
+
+    def _compute_parents(self, flat: FlatGrid, source: int,
+                         blocked_mask: Optional[np.ndarray],
+                         goal: int) -> np.ndarray:
+        """Parent array of the BFS from ``source`` (-1 = unreached).
+
+        ``goal >= 0`` allows early termination once the goal is claimed
+        (used for one-shot blocked queries; memoised trees pass ``-1`` so
+        the tree serves every future goal).
+        """
+        parents = np.full(flat.size, -1, dtype=np.int32)
+        parents[source] = source
+        frontier = np.array([source], dtype=np.int32)
+        neighbor_table = flat.route_neighbors
+        # Scratch for the first-claim scatter below; every candidate cell is
+        # rewritten each round, so stale entries are never read.
+        winner = np.empty(flat.size, dtype=np.int32)
+        while frontier.size:
+            candidates = neighbor_table[frontier].ravel()
+            claimants = np.repeat(frontier, 4)
+            keep = candidates >= 0
+            candidates = candidates[keep]
+            claimants = claimants[keep]
+            if blocked_mask is not None:
+                keep = ~blocked_mask[candidates]
+                candidates = candidates[keep]
+                claimants = claimants[keep]
+            keep = parents[candidates] < 0
+            candidates = candidates[keep]
+            claimants = claimants[keep]
+            if candidates.size == 0:
+                break
+            # First occurrence wins, in discovery (claimant x Edge) order.
+            # Double-scatter instead of np.unique (which sorts): writing the
+            # claims reversed makes the earliest claim the last write, then
+            # comparing each claim's slot against its own index keeps exactly
+            # the first occurrence of every cell, in original order.
+            order = np.arange(candidates.size, dtype=np.int32)
+            winner[candidates[::-1]] = order[::-1]
+            first = winner[candidates] == order
+            candidates = candidates[first]
+            parents[candidates] = claimants[first]
+            if goal >= 0 and parents[goal] >= 0:
+                break
+            frontier = candidates
+        return parents
+
+    def _parents_for(self, flat: FlatGrid, source: int) -> np.ndarray:
+        if self._tree_version != flat.version:
+            self.invalidate()
+            self._tree_version = flat.version
+        parents = self._parent_trees.get(source)
+        if parents is None:
+            parents = self._compute_parents(flat, source, None, -1)
+            self._parent_trees[source] = parents
+        return parents
+
+    # -- the query -------------------------------------------------------------
+
+    def shortest_path(self, layout: GridLayout, start: Position,
+                      goal: Position,
+                      blocked: Optional[Set[Position]] = None
+                      ) -> Optional[List[Position]]:
+        flat = FlatGrid.for_layout(layout)
+        start_flat = flat.flat_index(start)
+        goal_flat = flat.flat_index(goal)
+        if (start_flat < 0 or goal_flat < 0
+                or not flat.ancilla_mask[start_flat]
+                or not flat.ancilla_mask[goal_flat]):
+            return None
+        if blocked and (start in blocked or goal in blocked):
+            return None
+        if start_flat == goal_flat:
+            return [start]
+        if blocked:
+            parents = self._compute_parents(flat, start_flat,
+                                            flat.blocked_mask(blocked),
+                                            goal_flat)
+        else:
+            parents = self._parents_for(flat, start_flat)
+        if parents[goal_flat] < 0:
+            return None
+        positions = flat._positions
+        path = [positions[goal_flat]]
+        current = goal_flat
+        while current != start_flat:
+            current = int(parents[current])
+            path.append(positions[current])
+        path.reverse()
+        return path
+
+
+class NumbaBackend(VectorBackend):
+    """The flat-array BFS compiled with ``numba.njit``.
+
+    The compiled kernel is a scalar FIFO BFS over the same int32 neighbour
+    table — the first-claim parent rule is the loop order itself, so its
+    parent arrays are identical to both reference implementations.
+    """
+
+    name = "numba"
+
+    def __init__(self) -> None:
+        super().__init__()
+        if not numba_available():
+            raise RuntimeError(
+                "routing_backend='numba' requires the optional numba "
+                "dependency; install it with `pip install repro[numba]` "
+                "or select the 'vector' backend")
+        self._kernel = _build_numba_kernel()
+
+    def _compute_parents(self, flat: FlatGrid, source: int,
+                         blocked_mask: Optional[np.ndarray],
+                         goal: int) -> np.ndarray:
+        if blocked_mask is None:
+            blocked_mask = np.zeros(0, dtype=np.bool_)
+        return self._kernel(flat.route_neighbors, np.int32(source),
+                            blocked_mask, np.int32(goal))
+
+
+def _build_numba_kernel():
+    """Compile the BFS kernel (deferred so import works without numba)."""
+    from numba import njit
+
+    @njit(cache=True)
+    def bfs_parents(neighbor_table, source, blocked_mask, goal):
+        size = neighbor_table.shape[0]
+        parents = np.full(size, -1, dtype=np.int32)
+        parents[source] = source
+        queue = np.empty(size, dtype=np.int32)
+        queue[0] = source
+        head, tail = 0, 1
+        use_blocked = blocked_mask.size > 0
+        while head < tail:
+            current = queue[head]
+            head += 1
+            for axis in range(4):
+                neighbor = neighbor_table[current, axis]
+                if neighbor < 0 or parents[neighbor] >= 0:
+                    continue
+                if use_blocked and blocked_mask[neighbor]:
+                    continue
+                parents[neighbor] = current
+                if neighbor == goal:
+                    return parents
+                queue[tail] = neighbor
+                tail += 1
+        return parents
+
+    return bfs_parents
+
+
+_BACKEND_CLASSES = {
+    "python": PythonBackend,
+    "vector": VectorBackend,
+    "numba": NumbaBackend,
+}
+
+
+def get_backend(name: str) -> RoutingBackend:
+    """Instantiate the named routing backend (raises on unknown names)."""
+    try:
+        backend_cls = _BACKEND_CLASSES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown routing backend {name!r}; "
+            f"expected one of {ROUTING_BACKEND_NAMES}") from None
+    return backend_cls()
+
+
+#: Type alias documented for policy path_finder parameters.
+PathFinder = Callable[[Position, Position], Optional[List[Position]]]

@@ -12,9 +12,11 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
+from functools import cached_property
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from ..fabric import Edge, GridLayout, Position
+from .backends import RoutingBackend, get_backend
 from .operations import DEFAULT_COSTS, LatticeSurgeryCosts
 from .orientation import OrientationTracker
 
@@ -50,9 +52,13 @@ class RoutePlan:
     rotation_ancilla_control: Optional[Position] = None
     rotation_ancilla_target: Optional[Position] = None
 
-    @property
+    @cached_property
     def ancillas_used(self) -> Tuple[Position, ...]:
-        """Every ancilla tile the plan touches (path plus rotation helpers)."""
+        """Every ancilla tile the plan touches (path plus rotation helpers).
+
+        Cached: schedulers poll this every pass while the plan waits for its
+        tiles, and the tuple is a pure function of the frozen fields.
+        """
         extra = [pos for pos in (self.rotation_ancilla_control,
                                  self.rotation_ancilla_target)
                  if pos is not None and pos not in self.path]
@@ -227,12 +233,24 @@ class RoutingIndex:
     ``path_finder`` (RESCQ's MST tree paths) are answered without touching
     the plan cache, but still reuse the cached attachment candidates.
 
-    One index is typically shared per layout via :meth:`for_layout`, so
-    repeated runs (seed sweeps) reuse each other's routing work.
+    Shortest-path queries are delegated to a pluggable
+    :class:`~repro.lattice.backends.RoutingBackend` (``python`` reference
+    BFS, batched numpy ``vector`` BFS, or the optional compiled ``numba``
+    kernel) — all byte-identical, selected via
+    ``SimulationConfig(routing_backend=...)``.
+
+    One index per (layout, backend) is typically shared via
+    :meth:`for_layout`, so repeated runs (seed sweeps) reuse each other's
+    routing work while equivalence tests can hold separate caches per
+    backend.
     """
 
-    def __init__(self, layout: GridLayout) -> None:
+    def __init__(self, layout: GridLayout,
+                 backend: "str | RoutingBackend" = "python") -> None:
         self.layout = layout
+        self.backend: RoutingBackend = (get_backend(backend)
+                                        if isinstance(backend, str)
+                                        else backend)
         self._version = layout.version
         #: (start, goal) -> shortest ancilla path (or None when unreachable).
         self._paths: Dict[Tuple[Position, Position],
@@ -246,12 +264,18 @@ class RoutingIndex:
         self.plan_cache_hits = 0
 
     @classmethod
-    def for_layout(cls, layout: GridLayout) -> "RoutingIndex":
-        """The shared index attached to ``layout`` (created on first use)."""
-        index = getattr(layout, "_routing_index", None)
-        if index is None or index.layout is not layout:
-            index = cls(layout)
-            layout._routing_index = index
+    def for_layout(cls, layout: GridLayout,
+                   backend: str = "python") -> "RoutingIndex":
+        """The shared per-backend index attached to ``layout``."""
+        indices = getattr(layout, "_routing_indices", None)
+        if indices is None or any(index.layout is not layout
+                                  for index in indices.values()):
+            indices = {}
+            layout._routing_indices = indices
+        index = indices.get(backend)
+        if index is None:
+            index = cls(layout, backend=backend)
+            indices[backend] = index
         return index
 
     # -- invalidation ----------------------------------------------------------
@@ -266,6 +290,10 @@ class RoutingIndex:
             return
         changes = self.layout.changes_since(self._version)
         self._version = self.layout.version
+        # Backend parent trees span the whole fabric, so any mutation (even a
+        # delta-prunable disable) invalidates them; surviving cached paths in
+        # self._paths are still served without re-querying the backend.
+        self.backend.invalidate()
         if changes is None or any(enabled for _, _, enabled in changes):
             self._invalidate_all()
             return
@@ -289,7 +317,7 @@ class RoutingIndex:
         try:
             return self._paths[key]
         except KeyError:
-            path = bfs_ancilla_path(self.layout, start, goal)
+            path = self.backend.shortest_path(self.layout, start, goal)
             self._paths[key] = path
             return path
 
@@ -335,7 +363,7 @@ class RoutingIndex:
                                      blocked or set(), path_finder)
         if blocked:
             def blocked_finder(a: Position, b: Position):
-                return bfs_ancilla_path(self.layout, a, b, blocked)
+                return self.backend.shortest_path(self.layout, a, b, blocked)
             return self._build_plans(orientation, control, target, blocked,
                                      blocked_finder)
         key = (control, target, orientation.is_flipped(control),

@@ -13,6 +13,13 @@ from ..sim.results import SimulationResult
 
 __all__ = ["Scheduler", "gate_kind"]
 
+#: (angle, max_doublings) -> injection limit.  Angles repeat heavily within
+#: and across circuits (T gates, layered ansaetze) and
+#: :func:`doublings_until_clifford` walks up to ``max_doublings`` float
+#: doublings per query, so the limit is worth memoising process-wide.
+_INJECTION_LIMIT_CACHE: "dict[tuple[float, int], int]" = {}
+_INJECTION_LIMIT_CACHE_MAX = 65536
+
 
 def gate_kind(gate: Gate) -> str:
     """Trace label for a gate ('cnot', 'rz', 'h', ...)."""
@@ -58,7 +65,14 @@ class Scheduler(abc.ABC):
         """Maximum length of the RUS correction chain for this rotation."""
         if gate.angle is None:
             return max_doublings
-        return max(1, doublings_until_clifford(gate.angle, max_doublings))
+        key = (gate.angle, max_doublings)
+        limit = _INJECTION_LIMIT_CACHE.get(key)
+        if limit is None:
+            if len(_INJECTION_LIMIT_CACHE) >= _INJECTION_LIMIT_CACHE_MAX:
+                _INJECTION_LIMIT_CACHE.clear()
+            limit = max(1, doublings_until_clifford(gate.angle, max_doublings))
+            _INJECTION_LIMIT_CACHE[key] = limit
+        return limit
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"{type(self).__name__}(name={self.name!r})"

@@ -18,13 +18,14 @@ used by the classical-overhead benchmark.
 
 from __future__ import annotations
 
-from collections import deque
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple, Union
 
 import networkx as nx
+import numpy as np
 
 from ..fabric import GridLayout, Position
+from ..fabric.flat import FlatGrid
 
 __all__ = ["build_activity_graph", "AncillaMst", "AsyncMstPipeline",
            "IncrementalMst"]
@@ -47,21 +48,96 @@ def build_activity_graph(layout: GridLayout,
 
 
 class AncillaMst:
-    """An immutable activity-weighted MST snapshot with path queries."""
+    """An immutable activity-weighted MST snapshot with path queries.
+
+    Construction is array-based over the layout's
+    :class:`~repro.fabric.flat.FlatGrid`: edge weights are computed in one
+    numpy pass, Kruskal runs as a stable argsort plus a union-find sweep,
+    and the resulting forest is rooted once so that path queries are LCA
+    walks over parent/depth arrays instead of per-pair BFS.
+
+    Tree identity with the historical networkx implementation: the flat
+    edge arrays enumerate edges in the exact insertion order of
+    :func:`build_activity_graph` (slot-ascending, then Edge order), and
+    ``nx.minimum_spanning_tree(..., algorithm="kruskal")`` processes edges
+    with a *stable* sort over that same order — so a stable argsort admits
+    the identical edge set.  Tree paths are unique, so path queries agree
+    regardless of traversal order.
+    """
 
     def __init__(self, layout: GridLayout,
                  activity: Dict[Position, float],
                  snapshot_cycle: int = 0) -> None:
         self.snapshot_cycle = snapshot_cycle
         self.activity = dict(activity)
-        graph = build_activity_graph(layout, activity)
-        if graph.number_of_nodes() == 0:
-            self._tree = nx.Graph()
-        else:
-            self._tree = nx.minimum_spanning_tree(graph, weight="weight",
-                                                  algorithm="kruskal")
-        self._adjacency: Dict[Position, List[Position]] = {
-            node: sorted(self._tree.neighbors(node)) for node in self._tree.nodes}
+        flat = FlatGrid.for_layout(layout)
+        self._flat = flat
+        num = flat.num_ancilla
+        positions = flat.anc_positions
+
+        act = np.zeros(num, dtype=np.float64)
+        for slot, position in enumerate(positions):
+            value = activity.get(position)
+            if value:
+                act[slot] = value
+        self._act = act
+
+        # Kruskal over the flat edge arrays (see class docstring).
+        tree_u: List[int] = []
+        tree_v: List[int] = []
+        if flat.edge_u.size:
+            weights = np.maximum(act[flat.edge_u], act[flat.edge_v])
+            order = np.argsort(weights, kind="stable")
+            uf_parent = list(range(num))
+
+            def find(node: int) -> int:
+                root = node
+                while uf_parent[root] != root:
+                    root = uf_parent[root]
+                while uf_parent[node] != root:
+                    uf_parent[node], node = root, uf_parent[node]
+                return root
+
+            edge_u = flat.edge_u.tolist()
+            edge_v = flat.edge_v.tolist()
+            for edge_index in order.tolist():
+                root_u = find(edge_u[edge_index])
+                root_v = find(edge_v[edge_index])
+                if root_u != root_v:
+                    uf_parent[root_u] = root_v
+                    tree_u.append(edge_u[edge_index])
+                    tree_v.append(edge_v[edge_index])
+        self._tree_u = tree_u
+        self._tree_v = tree_v
+
+        # Root every component at its smallest slot: parent/depth/component
+        # arrays answer any path query with an LCA walk.
+        adjacency: List[List[int]] = [[] for _ in range(num)]
+        for u, v in zip(tree_u, tree_v):
+            adjacency[u].append(v)
+            adjacency[v].append(u)
+        parent = np.full(num, -1, dtype=np.int32)
+        depth = np.zeros(num, dtype=np.int32)
+        component = np.full(num, -1, dtype=np.int32)
+        for root in range(num):
+            if component[root] >= 0:
+                continue
+            component[root] = root
+            parent[root] = root
+            stack = [root]
+            while stack:
+                node = stack.pop()
+                for neighbor in adjacency[node]:
+                    if component[neighbor] < 0:
+                        component[neighbor] = root
+                        parent[neighbor] = node
+                        depth[neighbor] = depth[node] + 1
+                        stack.append(neighbor)
+        self._parent = parent
+        self._depth = depth
+        self._component = component
+        self._lazy_tree: Optional[nx.Graph] = None
+
         #: Memoised path queries — the tree is immutable, so every
         #: (start, goal) pair resolves to the same unique path forever.
         self._path_cache: Dict[Tuple[Position, Position],
@@ -69,10 +145,20 @@ class AncillaMst:
 
     @property
     def tree(self) -> nx.Graph:
-        return self._tree
+        """The MST as a networkx graph (built lazily, for analysis code)."""
+        if self._lazy_tree is None:
+            tree = nx.Graph()
+            tree.add_nodes_from(self._flat.anc_positions)
+            act = self._act
+            positions = self._flat.anc_positions
+            for u, v in zip(self._tree_u, self._tree_v):
+                tree.add_edge(positions[u], positions[v],
+                              weight=max(act[u], act[v]))
+            self._lazy_tree = tree
+        return self._lazy_tree
 
     def contains(self, position: Position) -> bool:
-        return position in self._adjacency
+        return self._flat.slot_of(position) >= 0
 
     def path(self, start: Position, goal: Position) -> Optional[List[Position]]:
         """The unique tree path between two ancilla tiles (inclusive).
@@ -83,42 +169,60 @@ class AncillaMst:
         as read-only.
         """
         key = (start, goal)
-        if key in self._path_cache:
-            return self._path_cache[key]
+        cached = self._path_cache.get(key, _PATH_MISS)
+        if cached is not _PATH_MISS:
+            return cached
         path = self._compute_path(start, goal)
         self._path_cache[key] = path
         return path
 
     def _compute_path(self, start: Position,
                       goal: Position) -> Optional[List[Position]]:
-        if start not in self._adjacency or goal not in self._adjacency:
+        flat = self._flat
+        start_slot = flat.slot_of(start)
+        goal_slot = flat.slot_of(goal)
+        if start_slot < 0 or goal_slot < 0:
             return None
-        if start == goal:
+        if start_slot == goal_slot:
             return [start]
-        parents: Dict[Position, Position] = {start: start}
-        queue = deque([start])
-        while queue:
-            current = queue.popleft()
-            for neighbor in self._adjacency[current]:
-                if neighbor in parents:
-                    continue
-                parents[neighbor] = current
-                if neighbor == goal:
-                    path = [goal]
-                    while path[-1] != start:
-                        path.append(parents[path[-1]])
-                    path.reverse()
-                    return path
-                queue.append(neighbor)
-        return None
+        component = self._component
+        if component[start_slot] != component[goal_slot]:
+            return None
+        parent = self._parent
+        depth = self._depth
+        up_from_start = [start_slot]
+        up_from_goal = [goal_slot]
+        a, b = start_slot, goal_slot
+        while depth[a] > depth[b]:
+            a = parent[a]
+            up_from_start.append(a)
+        while depth[b] > depth[a]:
+            b = parent[b]
+            up_from_goal.append(b)
+        while a != b:
+            a = parent[a]
+            up_from_start.append(a)
+            b = parent[b]
+            up_from_goal.append(b)
+        positions = flat.anc_positions
+        path = [positions[slot] for slot in up_from_start]
+        path.extend(positions[slot] for slot in reversed(up_from_goal[:-1]))
+        return path
 
     def bottleneck_activity(self, start: Position, goal: Position) -> float:
         """Maximum edge weight along the tree path (the minimax objective)."""
         path = self.path(start, goal)
         if not path or len(path) == 1:
             return 0.0
-        return max(self._tree.edges[u, v]["weight"]
-                   for u, v in zip(path, path[1:]))
+        # Every edge weight is max(act_u, act_v), so the path maximum equals
+        # the maximum activity over all path nodes.
+        slot_of = self._flat.slot_of
+        act = self._act
+        return float(max(act[slot_of(position)] for position in path))
+
+
+#: Distinct sentinel: path caches legitimately store ``None`` values.
+_PATH_MISS = object()
 
 
 @dataclass

@@ -76,47 +76,49 @@ class AncillaQueue:
 
     def __init__(self, position: Position) -> None:
         self.position = position
-        self._entries: List[QueueEntry] = []
+        #: The entry list, oldest first.  Shared, not copied: callers may
+        #: iterate it directly on hot paths but must treat it as read-only.
+        self.entries: List[QueueEntry] = []
 
     def __len__(self) -> int:
-        return len(self._entries)
+        return len(self.entries)
 
     def __iter__(self) -> Iterator[QueueEntry]:
-        return iter(self._entries)
+        return iter(self.entries)
 
     def __bool__(self) -> bool:
-        return bool(self._entries)
+        return bool(self.entries)
 
     @property
     def head(self) -> Optional[QueueEntry]:
-        return self._entries[0] if self._entries else None
+        return self.entries[0] if self.entries else None
 
     def enqueue(self, entry: QueueEntry) -> None:
-        self._entries.append(entry)
+        self.entries.append(entry)
 
     def pop_head(self) -> QueueEntry:
-        if not self._entries:
+        if not self.entries:
             raise IndexError("pop from empty ancilla queue")
-        return self._entries.pop(0)
+        return self.entries.pop(0)
 
     def remove_gate(self, gate_index: int) -> int:
         """Remove every entry for ``gate_index``; returns how many were removed."""
-        before = len(self._entries)
-        self._entries = [entry for entry in self._entries
+        before = len(self.entries)
+        self.entries = [entry for entry in self.entries
                          if entry.gate_index != gate_index]
-        return before - len(self._entries)
+        return before - len(self.entries)
 
     def contains_gate(self, gate_index: int) -> bool:
-        return any(entry.gate_index == gate_index for entry in self._entries)
+        return any(entry.gate_index == gate_index for entry in self.entries)
 
     def entry_for_gate(self, gate_index: int) -> Optional[QueueEntry]:
-        for entry in self._entries:
+        for entry in self.entries:
             if entry.gate_index == gate_index:
                 return entry
         return None
 
     def position_of_gate(self, gate_index: int) -> Optional[int]:
-        for index, entry in enumerate(self._entries):
+        for index, entry in enumerate(self.entries):
             if entry.gate_index == gate_index:
                 return index
         return None
@@ -128,14 +130,14 @@ class AncillaQueue:
     def update_angle_level(self, gate_index: int, angle_level: int) -> int:
         """In-place angle-level bump for eager correction prep (Section 4.1)."""
         updated = 0
-        for entry in self._entries:
+        for entry in self.entries:
             if entry.gate_index == gate_index and entry.angle_level < angle_level:
                 entry.angle_level = angle_level
                 updated += 1
         return updated
 
     def describe(self) -> str:  # pragma: no cover - debugging aid
-        return f"{self.position}: " + " | ".join(e.describe() for e in self._entries)
+        return f"{self.position}: " + " | ".join(e.describe() for e in self.entries)
 
 
 class QueueSet:

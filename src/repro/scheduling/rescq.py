@@ -135,6 +135,10 @@ class RescqPolicy(EventDrivenPolicy):
 
         self.tasks: Dict[int, object] = {}
         self.task_order: List[int] = []
+        #: Per-entry queue cost of a pending Rz in :meth:`_expected_free_time`.
+        #: ``expected_cycles()`` is a pure function of the preparation model,
+        #: so the same float is produced every call.
+        self._rz_pending_cost = self.prep_model.expected_cycles() + 1.0
 
         # next gate on each qubit after a given gate (for lookahead prep).
         self._next_on_qubit: Dict[Tuple[int, int], int] = {}
@@ -293,44 +297,109 @@ class RescqPolicy(EventDrivenPolicy):
 
     def _expected_free_time(self, position: Position) -> float:
         """Expected cycle at which ``position`` frees up (Section 4.2)."""
-        base = float(max(self.clock.now, self.fabric.anc_free[position]))
-        if position in self.fabric.anc_holding:
+        fabric = self.fabric
+        free = fabric.anc_free[position]
+        now = self.clock.now
+        base = float(free if free > now else now)
+        if position in fabric.anc_holding:
             base += 1.0
+        entries = self.queues[position].entries
+        if not entries:
+            return base
+        # Keep the historical accumulation order (pending summed apart, added
+        # to base once): float addition is not associative, and the golden
+        # traces pin the exact eft values.
         pending = 0.0
-        for entry in self.queues[position]:
-            if entry.gate_kind == "rz":
-                pending += self.prep_model.expected_cycles() + 1.0
-            elif entry.gate_kind == "cnot":
-                pending += self.costs.cnot_cycles
+        rz_cost = self._rz_pending_cost
+        cnot_cost = self.costs.cnot_cycles
+        hadamard_cost = self.costs.hadamard_cycles
+        for entry in entries:
+            kind = entry.gate_kind
+            if kind == "rz":
+                pending += rz_cost
+            elif kind == "cnot":
+                pending += cnot_cost
             else:
-                pending += self.costs.hadamard_cycles
+                pending += hadamard_cost
         return base + pending
 
     def _choose_cnot_plan(self, control: int, target: int) -> RoutePlan:
-        path_finder = None
-        if self.mst is not None and self.mst.current is not None:
-            tree = self.mst.current
+        rotation_cost = self.costs.edge_rotation_cycles
+        cnot_cycles = self.costs.cnot_cycles
+        # Fabric state is frozen while scoring, so each tile's expected free
+        # time is computed once even when candidate paths overlap.
+        eft_cache: Dict[Position, float] = {}
+        eft = self._expected_free_time
 
-            def path_finder(a: Position, b: Position):
-                return tree.path(a, b)
+        tree = self.mst.current if self.mst is not None else None
+        if tree is not None:
+            # Hot path: rank the candidate attachment pairs directly over the
+            # memoised tree paths and materialise only the winning RoutePlan —
+            # identical selection to scoring a full plan list with min()
+            # (same nested iteration order, strict-< tie-breaking), without
+            # constructing the ~16 losing plans.
+            routing = self.routing
+            routing.queries += 1
+            control_candidates = routing.attachments(self.orientation,
+                                                     control, "Z")
+            target_candidates = routing.attachments(self.orientation,
+                                                    target, "X")
+            tree_path = tree.path
+            best = None
+            best_score: Optional[Tuple[float, int]] = None
+            for control_attach, control_rotation in control_candidates:
+                for target_attach, target_rotation in target_candidates:
+                    path = tree_path(control_attach, target_attach)
+                    if path is None:
+                        continue
+                    worst: Optional[float] = None
+                    for pos in path:
+                        value = eft_cache.get(pos)
+                        if value is None:
+                            value = eft(pos)
+                            eft_cache[pos] = value
+                        if worst is None or value > worst:
+                            worst = value
+                    rotations = ((1 if control_rotation else 0)
+                                 + (1 if target_rotation else 0))
+                    score = (rotation_cost * rotations + cnot_cycles + worst,
+                             len(path))
+                    if best_score is None or score < best_score:
+                        best_score = score
+                        best = (control_attach, control_rotation,
+                                target_attach, target_rotation, path)
+            if best is not None:
+                (control_attach, control_rotation,
+                 target_attach, target_rotation, path) = best
+                return RoutePlan(
+                    control=control,
+                    target=target,
+                    path=tuple(path),
+                    control_rotation=control_rotation,
+                    target_rotation=target_rotation,
+                    rotation_ancilla_control=(control_attach
+                                              if control_rotation else None),
+                    rotation_ancilla_target=(target_attach
+                                             if target_rotation else None),
+                )
+            # Fall through: the MST snapshot routes no attachment pair
+            # (e.g. it predates a layout quirk) — use the cached BFS plans.
 
-        plans = self.routing.enumerate_plans(self.orientation, control, target,
-                                             path_finder=path_finder)
-        if not plans:
-            # Fall back to BFS (e.g. the MST snapshot predates a layout quirk).
-            plans = self.routing.enumerate_plans(self.orientation, control,
-                                                 target)
+        plans = self.routing.enumerate_plans(self.orientation, control, target)
         if not plans:
             raise RuntimeError(
                 f"no ancilla path between qubits {control} and {target}")
 
-        rotation_cost = self.costs.edge_rotation_cycles
-
         def score(plan: RoutePlan) -> Tuple[float, int]:
-            expected = (rotation_cost * plan.num_rotations
-                        + self.costs.cnot_cycles
-                        + max(self._expected_free_time(pos)
-                              for pos in plan.path))
+            worst: Optional[float] = None
+            for pos in plan.path:
+                value = eft_cache.get(pos)
+                if value is None:
+                    value = eft(pos)
+                    eft_cache[pos] = value
+                if worst is None or value > worst:
+                    worst = value
+            expected = rotation_cost * plan.num_rotations + cnot_cycles + worst
             return (expected, len(plan.path))
 
         return min(plans, key=score)
@@ -384,13 +453,20 @@ class RescqPolicy(EventDrivenPolicy):
         # corrections) which releases successors; keep passing until the
         # frontier is stable so same-cycle progress is never missed.
         traces = self.lifecycle.traces
+        tasks = self.tasks
         while True:
             completed_before = len(traces)
             self._create_tasks_for_ready_gates()
+            # Retired gates leave tombstones in task_order; compact once they
+            # dominate (relative order — seniority — is preserved).
+            order = self.task_order
+            if len(order) > 64 and len(tasks) * 2 < len(order):
+                order = [index for index in order if index in tasks]
+                self.task_order = order
             # Iterate in task-creation (seniority) order so that queue-head
             # checks and resource grabs respect the order that enqueued them.
-            for index in list(self.task_order):
-                task = self.tasks.get(index)
+            for index in list(order):
+                task = tasks.get(index)
                 if task is None:
                     continue
                 if isinstance(task, _RzTask):
@@ -416,9 +492,8 @@ class RescqPolicy(EventDrivenPolicy):
         """Which correction level candidates should be preparing right now."""
         level = task.level
         if self.config.eager_correction_prep:
-            has_current = any(lvl == task.level for lvl in task.holding.values())
-            if task.injecting or has_current:
-                level = task.level + 1
+            if task.injecting or level in task.holding.values():
+                level += 1
         return level
 
     def _advance_rz(self, task: _RzTask) -> None:
@@ -437,11 +512,31 @@ class RescqPolicy(EventDrivenPolicy):
         # Eligibility never depends on the durations drawn below (candidate
         # tiles are distinct), so the draws batch into one vectorised call —
         # stream-equivalent to the historical per-candidate scalar draws.
-        eligible = [position for position in task.candidates
-                    if position not in task.preparing
-                    and not (task.holding.get(position) is not None
-                             and task.holding[position] >= task.level)
-                    and self._ancilla_available(position, task.gate_index)]
+        # The filter below is ``_ancilla_available`` inlined with hoisted
+        # lookups; this runs for every live Rz task on every pass.
+        fabric = self.fabric
+        anc_free = fabric.anc_free
+        anc_holding = fabric.anc_holding
+        queues = self.queues
+        gate_index = task.gate_index
+        preparing = task.preparing
+        holding = task.holding
+        current_level = task.level
+        eligible = []
+        for position in task.candidates:
+            if position in preparing:
+                continue
+            if holding.get(position, -1) >= current_level:
+                continue
+            if anc_free[position] > now:
+                continue
+            holder = anc_holding.get(position)
+            if holder is not None and holder != gate_index:
+                continue
+            head = queues[position].head
+            if head is None or head.gate_index != gate_index:
+                continue
+            eligible.append(position)
         if not eligible:
             return
         if len(eligible) == 1:
@@ -452,18 +547,19 @@ class RescqPolicy(EventDrivenPolicy):
         for position, duration in zip(eligible, durations):
             duration = int(duration)
             finish = now + duration
-            task.preparing[position] = [finish, level]
+            preparing[position] = [finish, level]
             task.prep_attempts += 1
             if task.first_start is None:
                 task.first_start = now
-            self.fabric.occupy_ancilla(position, now, finish)
-            self.queues[position].update_angle_level(task.gate_index, level)
-            head = self.queues[position].head
-            if head is not None and head.gate_index == task.gate_index:
+            fabric.occupy_ancilla(position, now, finish)
+            queue = queues[position]
+            queue.update_angle_level(gate_index, level)
+            head = queue.head
+            if head is not None and head.gate_index == gate_index:
                 head.status = AncillaStatus.PREPARING
             if self.profile is not None:
                 self.profile.add("sim_prep_cycles", float(duration))
-            self.clock.push(finish, "prep", (task.gate_index, position, finish))
+            self.clock.push(finish, "prep", (gate_index, position, finish))
 
     def _injection_resources(self, task: _RzTask, position: Position
                              ) -> Optional[Tuple[List[Position], int]]:
@@ -488,7 +584,7 @@ class RescqPolicy(EventDrivenPolicy):
         return None
 
     def _maybe_start_injection(self, task: _RzTask) -> None:
-        if task.injecting or not task.released:
+        if task.injecting or not task.released or not task.holding:
             return
         now = self.clock.now
         if self.fabric.data_free[task.qubit] > now:
@@ -544,7 +640,7 @@ class RescqPolicy(EventDrivenPolicy):
         level = info[1]
         if level < task.level:
             return  # the chain moved past this level; discard the state
-        is_first_at_level = not any(lvl == level for lvl in task.holding.values())
+        is_first_at_level = level not in task.holding.values()
         task.holding[position] = level
         self.fabric.hold(position, gate_index)
         head = self.queues[position].head
@@ -598,19 +694,32 @@ class RescqPolicy(EventDrivenPolicy):
 
     def _try_start_cnot(self, task: _CnotTask) -> None:
         now = self.clock.now
-        if (self.fabric.data_free[task.control] > now
-                or self.fabric.data_free[task.target] > now):
+        fabric = self.fabric
+        data_free = fabric.data_free
+        if data_free[task.control] > now or data_free[task.target] > now:
             return
+        # ``_ancilla_available`` inlined over the plan tiles: a blocked CNOT
+        # is re-polled every pass, so this is the large-fabric hot loop.
+        gate_index = task.gate_index
+        anc_free = fabric.anc_free
+        anc_holding = fabric.anc_holding
+        queues = self.queues
         resources = task.plan.ancillas_used
         for position in resources:
-            if not self._ancilla_available(position, task.gate_index):
+            if anc_free[position] > now:
+                return
+            holder = anc_holding.get(position)
+            if holder is not None and holder != gate_index:
+                return
+            head = queues[position].head
+            if head is None or head.gate_index != gate_index:
                 return
         duration = task.plan.duration(self.costs)
         finish = now + duration
         for position in resources:
-            self.fabric.occupy_ancilla(position, now, finish)
-            head = self.queues[position].head
-            if head is not None and head.gate_index == task.gate_index:
+            fabric.occupy_ancilla(position, now, finish)
+            head = queues[position].head
+            if head is not None and head.gate_index == gate_index:
                 head.status = AncillaStatus.EXECUTING
         self.fabric.occupy_data(task.control, now, finish)
         self.fabric.occupy_data(task.target, now, finish)

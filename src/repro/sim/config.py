@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 
-from ..lattice import DEFAULT_COSTS, LatticeSurgeryCosts
+from ..lattice import DEFAULT_COSTS, ROUTING_BACKEND_NAMES, LatticeSurgeryCosts
 from ..rus import InjectionStrategy, PreparationModel
 
 __all__ = ["SimulationConfig"]
@@ -50,6 +50,11 @@ class SimulationConfig:
         (:class:`~repro.kernel.profiler.KernelProfile`) into
         :attr:`~repro.sim.results.SimulationResult.profile`.  Pure
         observability: simulated results are identical either way.
+    routing_backend:
+        Shortest-path machinery behind the routing index: ``"python"``
+        (reference BFS), ``"vector"`` (batched numpy BFS, the default) or
+        ``"numba"`` (compiled kernel, optional dependency).  All backends
+        produce byte-identical traces; only wall-clock speed differs.
     """
 
     distance: int = 7
@@ -66,8 +71,13 @@ class SimulationConfig:
     parallel_preparation: bool = True
     use_mst_routing: bool = True
     profile_enabled: bool = False
+    routing_backend: str = "vector"
 
     def __post_init__(self) -> None:
+        if self.routing_backend not in ROUTING_BACKEND_NAMES:
+            raise ValueError(
+                f"routing_backend must be one of {ROUTING_BACKEND_NAMES}, "
+                f"got {self.routing_backend!r}")
         if self.distance < 3 or self.distance % 2 == 0:
             raise ValueError("distance must be an odd integer >= 3")
         if not 0.0 < self.physical_error_rate < 0.5:

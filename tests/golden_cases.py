@@ -22,6 +22,7 @@ from repro.fabric import StarVariant, compress_layout, star_layout
 from repro.scheduling import SCHEDULER_REGISTRY
 from repro.sim.config import SimulationConfig
 from repro.workloads import dnn_circuit, ising_circuit, qft_circuit, wstate_circuit
+from repro.workloads.scenarios import clifford_rz_circuit
 
 GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "golden")
 
@@ -60,6 +61,21 @@ def golden_circuits() -> Dict[str, Circuit]:
     }
 
 
+def large_circuits() -> Dict[str, Circuit]:
+    """1000-tile scale circuits (250 data qubits x 2x2 STAR block = 1000 tiles).
+
+    Kept out of :func:`golden_circuits` so the scheduler x seed product does
+    not explode; only the two explicitly listed large cases are captured.
+    Shallow on purpose — the point is fabric size (routing/MST pressure),
+    not circuit length.
+    """
+    return {
+        "scen250": clifford_rz_circuit(250, depth=2, seed=7),
+        "scen250dense": clifford_rz_circuit(250, depth=3, cx_fraction=0.5,
+                                            seed=11),
+    }
+
+
 def golden_cases() -> List[Tuple[str, str, str, int, str]]:
     """(case_id, circuit_key, scheduler, seed, variant) tuples.
 
@@ -78,6 +94,11 @@ def golden_cases() -> List[Tuple[str, str, str, int, str]]:
     cases.append(("dnn6-rescq-s0-ablated", "dnn6", "rescq", 0, "ablated"))
     cases.append(("dnn6-rescq-s0-compressed", "dnn6", "rescq", 0, "compressed"))
     cases.append(("dnn6-greedy-s0-compressed", "dnn6", "greedy", 0, "compressed"))
+    # 1000-tile scale points (ISSUE 8): exercise the vectorised routing core
+    # on a fabric two orders of magnitude larger than the small cases.
+    cases.append(("scen250-rescq-s0-large", "scen250", "rescq", 0, "default"))
+    cases.append(("scen250dense-rescq-s0-large", "scen250dense", "rescq", 0,
+                  "default"))
     return cases
 
 
@@ -87,8 +108,15 @@ def run_case(circuit_key: str, scheduler_name: str, seed: int,
     from repro.analysis.export import result_to_dict
     from repro.sim.runner import default_layout
 
-    circuit = golden_circuits()[circuit_key]
+    circuits = golden_circuits()
+    circuit = (circuits[circuit_key] if circuit_key in circuits
+               else large_circuits()[circuit_key])
     config = GOLDEN_CONFIG
+    # All routing backends must reproduce the goldens byte-identically; CI
+    # legs re-run the suite with RESCQ_GOLDEN_BACKEND=python / numba.
+    backend = os.environ.get("RESCQ_GOLDEN_BACKEND")
+    if backend:
+        config = config.with_updates(routing_backend=backend)
     if variant == "no_mst":
         config = config.with_updates(use_mst_routing=False)
     elif variant == "ablated":
