@@ -10,6 +10,12 @@ core exists for:
 * ``gates100k`` — the same fabric with a >100k-gate circuit, run under the
   ``vector`` backend only (a single pass already takes ~1 wall-minute; the
   byte-identical goldens cover python-backend correctness).
+* ``tiles4k`` — a 1000-qubit scenario on a 4096-tile fabric, run under
+  BOTH the ``batched`` and reference ``python`` event engines (ISSUE 9).
+  Thousands of tiles produce large same-cycle event buckets — the regime
+  the batched engine's whole-boundary drains target.  Event dispatch is
+  a minority of total wall time, so the engines stay close; the point
+  exists to pin that neither engine regresses at scale.
 
 Each backend gets a FRESH layout and is timed twice: the ``cold`` run is
 where backends differ (``RoutingIndex.for_layout`` memoises paths, plans
@@ -51,11 +57,20 @@ BASELINE_PATH = os.path.join(os.path.dirname(os.path.abspath(__file__)),
 STRICT = bool(int(os.environ.get("RESCQ_BENCH_STRICT", "0")))
 REBASE = bool(int(os.environ.get("RESCQ_BENCH_REBASE", "0")))
 
-#: (name, circuit kwargs, backends, time a warm second run?).  250 data
-#: qubits on the STAR layout is a 32x32 = 1024-tile fabric.
+#: (name, circuit kwargs, dimension, values, time a warm second run?).
+#: ``dimension`` names the config knob being compared: ``routing_backend``
+#: points exercise the vectorised routing core, ``kernel_backend`` points
+#: exercise the event engines.  250 data qubits on the STAR layout is a
+#: 32x32 = 1024-tile fabric; 1000 data qubits is 64x64 = 4096 tiles —
+#: the regime where same-cycle event buckets grow large enough to
+#: exercise the batched engine's whole-boundary drains.
 SCALE_POINTS = (
-    ("tiles1k", dict(n=250, depth=20, seed=3), ("vector", "python"), True),
-    ("gates100k", dict(n=250, depth=560, seed=3), ("vector",), False),
+    ("tiles1k", dict(n=250, depth=20, seed=3),
+     "routing_backend", ("vector", "python"), True),
+    ("gates100k", dict(n=250, depth=560, seed=3),
+     "routing_backend", ("vector",), False),
+    ("tiles4k", dict(n=1000, depth=6, seed=3),
+     "kernel_backend", ("batched", "python"), True),
 )
 
 
@@ -63,9 +78,10 @@ def test_bench_kernel_scale():
     calibration_s = _calibration_loop_seconds()
 
     points = {}
-    for name, kwargs, backends, warm_round in SCALE_POINTS:
+    for name, kwargs, dimension, backends, warm_round in SCALE_POINTS:
         circuit = clifford_rz_circuit(**kwargs)
-        row = {"circuit": dict(kwargs), "backends": {}}
+        row = {"circuit": dict(kwargs), "dimension": dimension,
+               "backends": {}}
         for backend in backends:
             # A fresh layout per backend: RoutingIndex caches live on the
             # layout object, so reusing one would let the second backend
@@ -75,7 +91,7 @@ def test_bench_kernel_scale():
             assert tiles >= 1000, f"{name}: fabric is only {tiles} tiles"
             row["tiles"] = tiles
             row["gates"] = len(circuit.gates)
-            config = SimulationConfig(routing_backend=backend)
+            config = SimulationConfig(**{dimension: backend})
             walls = []
             for _round in range(2 if warm_round else 1):
                 scheduler = SCHEDULER_REGISTRY.create("rescq")

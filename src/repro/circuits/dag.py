@@ -10,7 +10,7 @@ interface the simulator drives.
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, List, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from .circuit import Circuit
 from .gates import GateType
@@ -129,6 +129,21 @@ class GateDependencyGraph:
     @property
     def num_pending(self) -> int:
         return len(self._nodes) - len(self._completed)
+
+    def pending_nodes(self, limit: Optional[int] = None) -> List[int]:
+        """Not-yet-completed node indices in program order.
+
+        ``limit`` caps the scan — diagnostics (e.g. the deadlock message)
+        only want the first few stuck gates, not a full-circuit walk.
+        """
+        result: List[int] = []
+        completed = self._completed
+        for index in self._nodes:
+            if index not in completed:
+                result.append(index)
+                if limit is not None and len(result) >= limit:
+                    break
+        return result
 
     def reset(self) -> None:
         """Restore the graph to its initial (nothing completed) state."""

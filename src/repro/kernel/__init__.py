@@ -5,7 +5,12 @@ baselines used to hand-roll separately into four layers (bottom to top):
 
 ``SimulationClock`` (:mod:`repro.kernel.clock`)
     The simulated-time axis: the current cycle plus a deterministic
-    event queue (ordered by cycle, then strictly by push order).
+    event queue (ordered by cycle, then strictly by push order).  It is
+    the ``python`` reference of a pluggable **event-engine** family
+    (:mod:`repro.kernel.engines`): the ``batched`` default drains whole
+    cycle boundaries from cycle-bucketed struct-of-arrays storage, the
+    optional ``numba`` engine compiles the drain segmentation — all
+    byte-identical, selected via ``SimulationConfig(kernel_backend=...)``.
 
 ``FabricState`` (:mod:`repro.kernel.fabric_state`)
     Runtime state of the tile grid shared by all policies: per-ancilla
@@ -28,6 +33,8 @@ baselines used to hand-roll separately into four layers (bottom to top):
 """
 
 from .clock import SimulationClock
+from .engines import (KERNEL_BACKEND_NAMES, BatchedEngine, NumbaEngine,
+                      create_engine, kernel_numba_available)
 from .fabric_state import FabricState
 from .kernel import (DeadlockError, EventDrivenPolicy, LayerSyncPolicy,
                      SimulationKernel)
@@ -36,6 +43,11 @@ from .profiler import KernelProfile, profile_timer
 
 __all__ = [
     "SimulationClock",
+    "KERNEL_BACKEND_NAMES",
+    "BatchedEngine",
+    "NumbaEngine",
+    "create_engine",
+    "kernel_numba_available",
     "FabricState",
     "GateLifecycle",
     "KernelProfile",

@@ -1,0 +1,293 @@
+"""Pluggable event engines behind the simulation kernel (the PR 8 strategy,
+applied to the event loop).
+
+Every engine implements the same interface as the reference
+:class:`~repro.kernel.clock.SimulationClock` — ``push`` /
+``next_event_cycle`` / ``advance`` / ``pop_due`` / ``dispatch_due`` /
+``pending_events`` / ``events_processed`` — and every engine dispatches the
+exact same events in the exact same order, so all simulated traces are
+byte-identical.  Only the storage and the dispatch *granularity* differ:
+
+* ``python`` — the reference: a single ``heapq`` of ``(cycle, seq, tag,
+  payload)`` tuples, one ``handle_event`` call per event.  Always available;
+  the other engines are validated against it.
+* ``batched`` (the default) — cycle-bucketed struct-of-arrays storage: one
+  bucket per distinct cycle holding parallel arrays of interned tag ids and
+  payload tuples, with a small heap over the *bucket keys* only.  A whole
+  cycle boundary is drained in one sweep and handed to the policy as
+  homogeneous-tag runs via ``handle_event_batch``, which lets
+  :class:`~repro.scheduling.rescq.RescqPolicy` vectorise same-cycle
+  injection outcomes and batch gate retirement.
+* ``numba`` — the batched engine with the tag-run segmentation compiled via
+  ``numba.njit`` for very large same-cycle event storms (optional
+  dependency, ``pip install repro[numba]``; import-guarded with an install
+  hint).
+
+Tie-break preservation (why the batched engines are byte-identical): the
+reference heap orders events by ``(cycle, seq)`` where ``seq`` is a global
+monotonic push counter.  A bucket receives its events in push order (list
+append), and buckets are drained in ascending cycle order, so concatenating
+bucket contents reproduces the exact ``(cycle, seq)`` sequence.  Grouping a
+bucket into *runs* of equal consecutive tags changes nothing about the
+order in which individual events reach the policy — the default
+``handle_event_batch`` is a plain loop over ``handle_event``, and the
+specialised batch handlers are required (and property-tested) to be
+stream-equivalent to that loop.  Events pushed *while* a sweep is being
+dispatched are picked up in the same sweep, after the already-drained
+events of their cycle — identical to the reference heap, where a freshly
+pushed event's higher ``seq`` sorts it behind every event already popped.
+(Like the reference, all kernel policies only ever push events at strictly
+later cycles — every hardware operation lasts at least one cycle.)
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from .clock import SimulationClock
+
+__all__ = ["KERNEL_BACKEND_NAMES", "BatchedEngine", "NumbaEngine",
+           "create_engine", "kernel_numba_available"]
+
+#: Engine names accepted by ``SimulationConfig(kernel_backend=...)``.
+KERNEL_BACKEND_NAMES = ("python", "batched", "numba")
+
+#: Bucket size at which the numba engine switches from the python run
+#: scanner to the compiled kernel (array conversion has a fixed cost that
+#: only amortises on large same-cycle storms).
+_NUMBA_RUN_THRESHOLD = 512
+
+
+def kernel_numba_available() -> bool:
+    """True when the optional numba dependency can be imported."""
+    try:
+        import numba  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+class _Bucket:
+    """Struct-of-arrays event storage for one distinct cycle.
+
+    Parallel lists, appended in push order: ``tags`` holds small interned
+    tag ids (ints compare faster than strings and feed the run scanner),
+    ``payloads`` the event payload tuples.
+    """
+
+    __slots__ = ("tags", "payloads")
+
+    def __init__(self) -> None:
+        self.tags: List[int] = []
+        self.payloads: List[tuple] = []
+
+
+class BatchedEngine:
+    """Cycle-bucketed event engine draining whole cycle boundaries at once.
+
+    Replaces the per-event ``heapq`` discipline with:
+
+    * a dict of per-cycle :class:`_Bucket` (int64 cycle keys -> parallel
+      tag-id/payload arrays, append-ordered = push-ordered);
+    * a heap over the *distinct cycle keys* only (one push per new cycle,
+      not one per event — the fabric schedules many events per boundary);
+    * one :meth:`dispatch_due` sweep per boundary that hands the policy
+      homogeneous-tag runs via ``handle_event_batch``.
+    """
+
+    name = "batched"
+
+    def __init__(self) -> None:
+        self.now = 0
+        self.events_processed = 0
+        #: Dispatch observability (surfaced in the run profile): how many
+        #: handle_event/handle_event_batch calls the engine issued, and the
+        #: largest single-cycle bucket it drained.
+        self.batches_dispatched = 0
+        self.max_bucket_events = 0
+        self._buckets: Dict[int, _Bucket] = {}
+        self._cycle_heap: List[int] = []
+        #: tag string -> interned id, and the reverse table.
+        self._tag_ids: Dict[str, int] = {}
+        self._tag_names: List[str] = []
+        self._pending = 0
+
+    # -- the SimulationClock interface ---------------------------------------------
+
+    def push(self, cycle: int, tag: str, payload: tuple) -> None:
+        """Schedule ``(tag, payload)`` to fire at ``cycle``."""
+        bucket = self._buckets.get(cycle)
+        if bucket is None:
+            bucket = _Bucket()
+            self._buckets[cycle] = bucket
+            heapq.heappush(self._cycle_heap, cycle)
+        tag_id = self._tag_ids.get(tag)
+        if tag_id is None:
+            tag_id = len(self._tag_names)
+            self._tag_ids[tag] = tag_id
+            self._tag_names.append(tag)
+        bucket.tags.append(tag_id)
+        bucket.payloads.append(payload)
+        self._pending += 1
+
+    def next_event_cycle(self) -> Optional[int]:
+        """Cycle of the earliest pending event, or ``None`` when idle."""
+        heap = self._cycle_heap
+        buckets = self._buckets
+        while heap:
+            cycle = heap[0]
+            if cycle in buckets:
+                return cycle
+            heapq.heappop(heap)  # stale key: its bucket was fully drained
+        return None
+
+    def advance(self, cycle: int) -> None:
+        """Move the clock forward to ``cycle``."""
+        self.now = cycle
+
+    def _take_next_bucket(self, cycle: int) -> Optional[_Bucket]:
+        """Detach the earliest bucket with key <= ``cycle`` (or ``None``)."""
+        next_cycle = self.next_event_cycle()
+        if next_cycle is None or next_cycle > cycle:
+            return None
+        bucket = self._buckets.pop(next_cycle)
+        self._pending -= len(bucket.tags)
+        return bucket
+
+    def pop_due(self, cycle: int) -> Iterator[Tuple[str, tuple]]:
+        """Pop and yield every event scheduled at or before ``cycle``.
+
+        Interface-compatible with the reference clock (events pushed while
+        iterating with a due cycle are picked up in the same sweep, after
+        the already-drained events of their cycle).
+        """
+        names = self._tag_names
+        while True:
+            bucket = self._take_next_bucket(cycle)
+            if bucket is None:
+                return
+            for tag_id, payload in zip(bucket.tags, bucket.payloads):
+                self.events_processed += 1
+                yield names[tag_id], payload
+
+    # -- batched dispatch ----------------------------------------------------------
+
+    def _tag_runs(self, tags: List[int]) -> List[Tuple[int, int, int]]:
+        """``(tag_id, start, stop)`` segments of equal consecutive tags."""
+        runs: List[Tuple[int, int, int]] = []
+        start = 0
+        current = tags[0]
+        for index in range(1, len(tags)):
+            tag = tags[index]
+            if tag != current:
+                runs.append((current, start, index))
+                start = index
+                current = tag
+        runs.append((current, start, len(tags)))
+        return runs
+
+    def dispatch_due(self, cycle: int, policy) -> None:
+        """Drain the boundary at ``cycle`` as homogeneous-tag event batches.
+
+        Each bucket is delivered as runs of equal consecutive tags: single
+        events go through ``handle_event`` (exactly like the reference
+        engine), longer runs through ``handle_event_batch`` whose default
+        implementation is that same loop — so engines differ only in how
+        often the policy gets the chance to vectorise.
+        """
+        names = self._tag_names
+        while True:
+            bucket = self._take_next_bucket(cycle)
+            if bucket is None:
+                return
+            tags = bucket.tags
+            payloads = bucket.payloads
+            self.events_processed += len(tags)
+            if len(tags) > self.max_bucket_events:
+                self.max_bucket_events = len(tags)
+            for tag_id, start, stop in self._tag_runs(tags):
+                self.batches_dispatched += 1
+                if stop - start == 1:
+                    policy.handle_event(names[tag_id], payloads[start])
+                else:
+                    policy.handle_event_batch(names[tag_id],
+                                              payloads[start:stop])
+
+    @property
+    def pending_events(self) -> int:
+        return self._pending
+
+
+class NumbaEngine(BatchedEngine):
+    """The batched engine with compiled tag-run segmentation.
+
+    Buckets below :data:`_NUMBA_RUN_THRESHOLD` events use the inherited
+    python scanner (converting tiny lists to arrays costs more than the
+    scan); larger same-cycle storms — the 4k-tile regime — run the
+    ``numba.njit`` kernel over an int64 tag array.  Dispatch order is
+    unchanged either way, so traces stay byte-identical.
+    """
+
+    name = "numba"
+
+    def __init__(self) -> None:
+        super().__init__()
+        if not kernel_numba_available():
+            raise RuntimeError(
+                "kernel_backend='numba' requires the optional numba "
+                "dependency; install it with `pip install repro[numba]` "
+                "or select the 'batched' engine")
+        self._run_kernel = _build_run_kernel()
+
+    def _tag_runs(self, tags: List[int]) -> List[Tuple[int, int, int]]:
+        if len(tags) < _NUMBA_RUN_THRESHOLD:
+            return BatchedEngine._tag_runs(self, tags)
+        import numpy as np
+        array = np.array(tags, dtype=np.int64)
+        bounds = self._run_kernel(array)
+        return [(tags[bounds[i]], int(bounds[i]), int(bounds[i + 1]))
+                for i in range(len(bounds) - 1)]
+
+
+def _build_run_kernel():
+    """Compile the run-boundary kernel (deferred so import works without
+    numba)."""
+    import numpy as np
+    from numba import njit
+
+    @njit(cache=True)
+    def run_bounds(tags):
+        count = 1
+        for i in range(1, tags.size):
+            if tags[i] != tags[i - 1]:
+                count += 1
+        bounds = np.empty(count + 1, dtype=np.int64)
+        bounds[0] = 0
+        slot = 1
+        for i in range(1, tags.size):
+            if tags[i] != tags[i - 1]:
+                bounds[slot] = i
+                slot += 1
+        bounds[count] = tags.size
+        return bounds
+
+    return run_bounds
+
+
+_ENGINE_CLASSES = {
+    "python": SimulationClock,
+    "batched": BatchedEngine,
+    "numba": NumbaEngine,
+}
+
+
+def create_engine(name: str):
+    """Instantiate the named event engine (raises on unknown names)."""
+    try:
+        engine_cls = _ENGINE_CLASSES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown kernel backend {name!r}; "
+            f"expected one of {KERNEL_BACKEND_NAMES}") from None
+    return engine_cls()

@@ -21,7 +21,6 @@ eager correction preparation.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 from ..fabric import Position
@@ -49,21 +48,34 @@ class AncillaRole(enum.Enum):
     HELPER = "helper"        # generic helper (Hadamard, CNOT-injection partner)
 
 
-@dataclass
 class QueueEntry:
-    """One element of an ancilla queue (the variables of Table 2)."""
+    """One element of an ancilla queue (the variables of Table 2).
 
-    gate_index: int
-    gate_kind: str                      # "cnot", "rz", "h", "edge_rotation"
-    data_qubits: Tuple[int, ...]
-    role: AncillaRole
-    helper: Optional[Position] = None
-    #: Correction level for Rz gates: 0 = theta, 1 = 2*theta, ... (updated
-    #: in place for eager correction preparation, Section 4.1).
-    angle_level: int = 0
-    status: AncillaStatus = AncillaStatus.READY
-    #: Monotonic sequence number assigned at enqueue time (seniority order).
-    sequence: int = 0
+    A ``__slots__`` class rather than a dataclass: entries are created and
+    their fields read on the per-pass hot path, and slot access keeps both
+    cheap (works on every supported Python, unlike ``dataclass(slots=True)``).
+    """
+
+    __slots__ = ("gate_index", "gate_kind", "data_qubits", "role", "helper",
+                 "angle_level", "status", "sequence")
+
+    def __init__(self, gate_index: int, gate_kind: str,
+                 data_qubits: Tuple[int, ...], role: AncillaRole,
+                 helper: Optional[Position] = None, angle_level: int = 0,
+                 status: AncillaStatus = AncillaStatus.READY,
+                 sequence: int = 0) -> None:
+        self.gate_index = gate_index
+        #: "cnot", "rz", "h", "edge_rotation"
+        self.gate_kind = gate_kind
+        self.data_qubits = data_qubits
+        self.role = role
+        self.helper = helper
+        #: Correction level for Rz gates: 0 = theta, 1 = 2*theta, ... (updated
+        #: in place for eager correction preparation, Section 4.1).
+        self.angle_level = angle_level
+        self.status = status
+        #: Monotonic sequence number assigned at enqueue time (seniority order).
+        self.sequence = sequence
 
     def describe(self) -> str:
         qubits = ",".join(str(q) for q in self.data_qubits)

@@ -1,0 +1,248 @@
+"""Event-engine equivalence: python, batched (and numba when installed).
+
+The batched event engine (ISSUE 9) must be a pure performance change:
+every engine dispatches the exact same events in the exact same order, so
+all simulated traces are byte-identical.  These tests pin that from three
+angles — the raw clock interface (ordering, tie-breaks, same-sweep
+pickup), the backend registry plumbing, and whole scheduler runs over
+random scenario-generator circuits.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import SimulationConfig
+from repro.analysis.export import result_to_dict
+from repro.kernel import (
+    KERNEL_BACKEND_NAMES,
+    BatchedEngine,
+    NumbaEngine,
+    SimulationClock,
+    create_engine,
+    kernel_numba_available,
+)
+from repro.kernel.lifecycle import GateLifecycle
+from repro.scheduling import SCHEDULER_REGISTRY
+from repro.sim.runner import default_layout
+from repro.workloads.scenarios import clifford_rz_circuit, congestion_circuit
+
+
+# ---------------------------------------------------------------------------
+# Clock-interface parity: the batched engine against the reference heap
+# ---------------------------------------------------------------------------
+
+class _RecordingPolicy:
+    """Records every (tag, payload) exactly as the policy would see them."""
+
+    def __init__(self):
+        self.events = []
+        self.batch_calls = 0
+
+    def handle_event(self, tag, payload):
+        self.events.append((tag, payload))
+
+    def handle_event_batch(self, tag, payloads):
+        self.batch_calls += 1
+        for payload in payloads:
+            self.events.append((tag, payload))
+
+
+def _drive(engine, pushes, until):
+    """Push, then drain boundary by boundary; return the dispatch order."""
+    policy = _RecordingPolicy()
+    for cycle, tag, payload in pushes:
+        engine.push(cycle, tag, payload)
+    while True:
+        next_cycle = engine.next_event_cycle()
+        if next_cycle is None or next_cycle > until:
+            return policy
+        engine.advance(next_cycle)
+        engine.dispatch_due(next_cycle, policy)
+
+
+class TestEngineOrderParity:
+    PUSHES = [
+        (5, "prep", (0,)), (3, "cnot", (1,)), (5, "prep", (2,)),
+        (5, "inject", (3,)), (3, "cnot", (4,)), (9, "h", (5,)),
+        (5, "prep", (6,)), (5, "prep", (7,)), (3, "prep", (8,)),
+    ]
+
+    def test_same_order_as_reference(self):
+        reference = _drive(SimulationClock(), self.PUSHES, 10)
+        batched = _drive(BatchedEngine(), self.PUSHES, 10)
+        assert batched.events == reference.events
+        assert batched.batch_calls > 0  # runs of equal tags did batch
+
+    def test_push_order_is_the_tie_break(self):
+        """Within one cycle, events fire in push order (the heap's seq)."""
+        engine = BatchedEngine()
+        pushes = [(4, "prep", (i,)) for i in range(20)]
+        policy = _drive(engine, pushes, 10)
+        assert [p[0] for _, p in policy.events] == list(range(20))
+
+    def test_same_sweep_pickup(self):
+        """Events pushed mid-dispatch at the due cycle fire in that sweep."""
+
+        class Chaining(_RecordingPolicy):
+            def __init__(self, engine):
+                super().__init__()
+                self.engine = engine
+
+            def handle_event(self, tag, payload):
+                super().handle_event(tag, payload)
+                if tag == "first":
+                    self.engine.push(self.engine.now, "chained", payload)
+
+        for engine in (SimulationClock(), BatchedEngine()):
+            policy = Chaining(engine)
+            engine.push(2, "first", (0,))
+            engine.advance(2)
+            engine.dispatch_due(2, policy)
+            assert [tag for tag, _ in policy.events] == ["first", "chained"]
+
+    def test_pop_due_matches_reference(self):
+        reference, batched = SimulationClock(), BatchedEngine()
+        for cycle, tag, payload in self.PUSHES:
+            reference.push(cycle, tag, payload)
+            batched.push(cycle, tag, payload)
+        assert list(batched.pop_due(5)) == list(reference.pop_due(5))
+        assert batched.pending_events == reference.pending_events
+        assert list(batched.pop_due(99)) == list(reference.pop_due(99))
+        assert batched.pending_events == 0
+
+    def test_dispatch_counters(self):
+        engine = BatchedEngine()
+        _drive(engine, self.PUSHES, 10)
+        assert engine.events_processed == len(self.PUSHES)
+        assert engine.max_bucket_events == 5   # the cycle-5 bucket
+        # Runs of equal consecutive tags: cycle 3 -> [cnot cnot | prep],
+        # cycle 5 -> [prep prep | inject | prep prep], cycle 9 -> [h].
+        assert engine.batches_dispatched == 6
+
+    def test_next_event_cycle_skips_drained_buckets(self):
+        engine = BatchedEngine()
+        engine.push(3, "a", ())
+        engine.push(7, "b", ())
+        assert engine.next_event_cycle() == 3
+        list(engine.pop_due(3))
+        assert engine.next_event_cycle() == 7
+        list(engine.pop_due(7))
+        assert engine.next_event_cycle() is None
+
+
+# ---------------------------------------------------------------------------
+# Backend registry
+# ---------------------------------------------------------------------------
+
+class TestEngineRegistry:
+    def test_known_names(self):
+        assert KERNEL_BACKEND_NAMES == ("python", "batched", "numba")
+        assert create_engine("python").name == "python"
+        assert create_engine("batched").name == "batched"
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError, match="unknown kernel backend"):
+            create_engine("fortran")
+
+    def test_config_validates_backend(self):
+        with pytest.raises(ValueError, match="kernel_backend"):
+            SimulationConfig(kernel_backend="fortran")
+
+    def test_default_backend_is_batched(self):
+        assert SimulationConfig().kernel_backend == "batched"
+
+    @pytest.mark.skipif(kernel_numba_available(), reason="numba installed: "
+                        "the missing-dependency error path cannot be "
+                        "exercised")
+    def test_numba_engine_without_numba_raises_actionably(self):
+        with pytest.raises(RuntimeError, match=r"repro\[numba\]"):
+            NumbaEngine()
+
+    @pytest.mark.skipif(not kernel_numba_available(),
+                        reason="numba not installed")
+    def test_numba_engine_matches_reference(self):
+        pushes = [(2, "prep", (i,)) for i in range(600)]  # > run threshold
+        pushes += [(2, "inject", (i,)) for i in range(600, 700)]
+        reference = _drive(SimulationClock(), pushes, 5)
+        compiled = _drive(NumbaEngine(), pushes, 5)
+        assert compiled.events == reference.events
+
+
+# ---------------------------------------------------------------------------
+# Deadlock diagnostics (the DeadlockError message names stuck gates)
+# ---------------------------------------------------------------------------
+
+class TestDeadlockDiagnostics:
+    def test_describe_pending_names_gates(self):
+        circuit = clifford_rz_circuit(4, depth=3, seed=0)
+        lifecycle = GateLifecycle(circuit)
+        description = lifecycle.describe_pending()
+        assert description.startswith("#")
+        first = description.split(",")[0]          # e.g. "#0 rz"
+        index = int(first.split()[0].lstrip("#"))
+        assert circuit[index].name in first
+
+    def test_describe_pending_truncates(self):
+        circuit = clifford_rz_circuit(8, depth=4, seed=1)
+        description = GateLifecycle(circuit).describe_pending(limit=2)
+        assert description.endswith("...")
+        assert description.count("#") == 2
+
+
+# ---------------------------------------------------------------------------
+# Whole-run equivalence on scenario-generator circuits (hypothesis)
+# ---------------------------------------------------------------------------
+
+def _run(circuit, engine: str, seed: int):
+    config = SimulationConfig(mst_period=10, mst_latency=20,
+                              kernel_backend=engine)
+    layout = default_layout(circuit)
+    scheduler = SCHEDULER_REGISTRY.create("rescq")
+    return result_to_dict(scheduler.run(circuit, layout, config, seed=seed))
+
+
+@settings(max_examples=12, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(n=st.integers(4, 10), depth=st.integers(2, 5),
+       circuit_seed=st.integers(0, 1000), run_seed=st.integers(0, 3))
+def test_engines_produce_identical_traces(n, depth, circuit_seed, run_seed):
+    """python and batched engines yield byte-identical scheduler results."""
+    circuit = clifford_rz_circuit(n, depth=depth, seed=circuit_seed)
+    reference = _run(circuit, "python", run_seed)
+    batched = _run(circuit, "batched", run_seed)
+    assert batched == reference
+
+
+@settings(max_examples=8, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(n=st.integers(4, 8), circuit_seed=st.integers(0, 500),
+       run_seed=st.integers(0, 3))
+def test_engines_identical_under_congestion(n, circuit_seed, run_seed):
+    """Parity holds when ancilla contention forces deep queues."""
+    circuit = congestion_circuit(n, seed=circuit_seed)
+    reference = _run(circuit, "python", run_seed)
+    batched = _run(circuit, "batched", run_seed)
+    assert batched == reference
+
+
+def test_engines_identical_on_dense_scenario():
+    """Deterministic (non-hypothesis) cross-engine check on a denser case."""
+    circuit = clifford_rz_circuit(12, depth=6, cx_fraction=0.5, seed=21)
+    reference = _run(circuit, "python", 1)
+    batched = _run(circuit, "batched", 1)
+    assert batched == reference
+    if kernel_numba_available():
+        assert _run(circuit, "numba", 1) == reference
+
+
+def test_profile_records_batch_counters():
+    circuit = clifford_rz_circuit(6, depth=3, seed=2)
+    config = SimulationConfig(profile_enabled=True)
+    layout = default_layout(circuit)
+    scheduler = SCHEDULER_REGISTRY.create("rescq")
+    result = scheduler.run(circuit, layout, config, seed=0)
+    assert result.profile.get("event_batches", 0) > 0
+    assert result.profile.get("max_bucket_events", 0) >= 1
