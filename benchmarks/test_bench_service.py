@@ -13,6 +13,13 @@ as ``rescq serve`` + ``rescq route``) in two phases:
   429 rate is the *expected* outcome, and clients retry after the server's
   ``Retry-After`` hint until their job lands.
 
+A third phase measures **availability under chaos**: the same wire path
+with a seeded :class:`~repro.cluster.chaos.FaultPlan` injected between the
+router and *both* shards (connections randomly refused, closed, truncated
+mid-stream, or stalled), recording the fraction of client submissions that
+still complete with a full, error-free row stream and the latency tail
+paid for the recovery work.
+
 Per phase we record request latency percentiles (p50/p90/p99, successful
 requests only), the 429 rate, and dedup efficiency
 (``1 - executed / jobs``); the result always goes to ``BENCH_service.json``
@@ -24,10 +31,11 @@ from __future__ import annotations
 
 import json
 import os
+import random
 import time
 from concurrent.futures import ThreadPoolExecutor
 
-from repro.cluster import ClusterHarness
+from repro.cluster import ClusterHarness, FaultPlan
 
 from conftest import FULL_SCALE
 
@@ -44,6 +52,12 @@ MAX_PENDING = 8
 #: Give up on one submission after this many 429 rounds (a safety valve;
 #: the retry loop normally converges long before).
 MAX_RETRIES = 200
+#: Submissions in the chaos phase (each one a distinct single-job spec).
+CHAOS_REQUESTS = 400 if FULL_SCALE else 200
+#: Per-connection fault probability in the chaos phase's seeded plan.
+CHAOS_RATE = 0.15
+#: The seed behind both the fault schedule and the router's retry jitter.
+CHAOS_SEED = 2026
 
 
 def identical_payload():
@@ -170,4 +184,102 @@ def test_bench_service_load():
               f"p99={phase['latency_s']['p99']}s, "
               f"429s={phase['rejected_429']} "
               f"(rate {phase['rate_429']})")
+    print(f"[bench-service] wrote {OUTPUT_PATH}")
+
+
+def chaos_payload(index):
+    # Seeds start at 50000: no overlap with either load-phase fingerprint
+    # space, so every chaos submission is real work, not a cache hit.
+    return {"name": f"load-chaos-{index}",
+            "benchmarks": [
+                f"scenario:clifford_t:n=4,depth=3,seed={50000 + index}"],
+            "schedulers": ["rescq"], "seeds": 1,
+            "config": {"mst_period": 10, "mst_latency": 10}}
+
+
+def test_bench_service_chaos():
+    """Availability and latency tail with faults injected on both shards."""
+    plans = {
+        index: FaultPlan.seeded(CHAOS_SEED + index, length=CHAOS_REQUESTS,
+                                kinds=("close", "truncate", "stall"),
+                                rate=CHAOS_RATE, max_rows=1, max_delay=0.01)
+        for index in range(2)
+    }
+    harness = ClusterHarness(
+        shards=2, max_workers=2,
+        # Shards must stay routable through the whole flood (there is no
+        # probe loop running to rejoin a DEAD shard mid-bench), and the
+        # retry jitter is seeded so reruns see the same schedule.
+        router_options={"rng": random.Random(CHAOS_SEED),
+                        "backoff_base": 0.005, "backoff_cap": 0.1,
+                        "max_attempts": 6, "dead_after": 10_000},
+    ).with_faults(plans)
+
+    outcomes = []
+
+    def submit(index):
+        start = time.perf_counter()
+        status, _headers, body = harness.request(
+            "POST", "/experiments", chaos_payload(index), timeout=600.0)
+        latency = time.perf_counter() - start
+        if status != 200:
+            return latency, False
+        lines = body.decode().splitlines()
+        rows, summary = lines[:-1], json.loads(lines[-1])
+        complete = (len(rows) == 1 and summary.get("jobs") == 1
+                    and not summary.get("errors"))
+        return latency, complete
+
+    with harness as cluster:
+        with ThreadPoolExecutor(max_workers=16) as clients:
+            outcomes = list(clients.map(submit, range(CHAOS_REQUESTS)))
+        status, _headers, data = cluster.request("GET", "/stats")
+        assert status == 200
+        stats = json.loads(data)
+        faults_fired = sum(
+            sum(1 for fault in proxy.applied if fault is not None)
+            for proxy in cluster.proxies.values())
+
+    latencies = [latency for latency, _ok in outcomes]
+    successes = sum(1 for _latency, ok in outcomes if ok)
+    availability = successes / CHAOS_REQUESTS
+    record = {
+        "requests": CHAOS_REQUESTS,
+        "clients": 16,
+        "fault_rate": CHAOS_RATE,
+        "fault_seed": CHAOS_SEED,
+        "faults_fired": faults_fired,
+        "availability": round(availability, 4),
+        "latency_s": {
+            "p50": round(percentile(latencies, 0.50), 4),
+            "p90": round(percentile(latencies, 0.90), 4),
+            "p99": round(percentile(latencies, 0.99), 4),
+        },
+        "router": {key: stats["router"][key]
+                   for key in ("retried", "recovered", "gave_up",
+                               "backoff_waits")},
+    }
+
+    # The router's bounded retries must absorb this fault rate entirely.
+    assert faults_fired > 0, "the chaos schedule never fired"
+    assert availability >= 0.95, record
+
+    # Merge into the load bench's output so one artifact carries all
+    # three phases (this test runs after it in file order).
+    payload = {"benchmark": "service"}
+    if os.path.exists(OUTPUT_PATH):
+        with open(OUTPUT_PATH, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    payload["chaos"] = record
+    with open(OUTPUT_PATH, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    print()
+    print(f"[bench-service] chaos: {CHAOS_REQUESTS} requests, "
+          f"{faults_fired} faults fired, "
+          f"availability={record['availability']}, "
+          f"p99={record['latency_s']['p99']}s, "
+          f"recovered={record['router']['recovered']} "
+          f"gave_up={record['router']['gave_up']}")
     print(f"[bench-service] wrote {OUTPUT_PATH}")

@@ -41,7 +41,13 @@ Subcommands
     Run the cluster shard router in front of N ``serve`` instances:
     rendezvous-hashes each planned job onto its owning shard, fans
     sub-plans out, and merges the NDJSON streams back into one plan-ordered
-    response (see :mod:`repro.cluster`).
+    response (see :mod:`repro.cluster`).  The router tracks live shard
+    membership (``--health-interval``, ``--dead-after``) and re-routes
+    jobs lost to a shard dying mid-stream (``--max-attempts``,
+    ``--request-deadline``, ``--retry-seed``).
+``cluster``
+    Inspect a running router: ``cluster status URL`` prints the shard
+    membership table (state, failure counters, last error per shard).
 ``cache``
     Inspect or maintain a result cache: ``stats``, ``gc --older-than AGE``
     and ``verify`` work uniformly over the directory, SQLite and
@@ -235,6 +241,44 @@ def build_parser() -> argparse.ArgumentParser:
                               metavar="SECONDS",
                               help="per-shard /healthz and /stats probe "
                                    "budget (default: 2)")
+    route_parser.add_argument("--health-interval", type=float, default=5.0,
+                              metavar="SECONDS",
+                              help="seconds between background health-probe "
+                                   "rounds; 0 disables the probe loop "
+                                   "(default: 5)")
+    route_parser.add_argument("--dead-after", type=int, default=3,
+                              metavar="N",
+                              help="consecutive probe/connect failures "
+                                   "before a shard is declared DEAD "
+                                   "(default: 3)")
+    route_parser.add_argument("--max-attempts", type=int, default=4,
+                              metavar="N",
+                              help="bounded retry attempts per failed "
+                                   "placement or mid-stream recovery "
+                                   "(default: 4)")
+    route_parser.add_argument("--request-deadline", type=float, default=None,
+                              metavar="SECONDS",
+                              help="per-request wall budget; retries and "
+                                   "Retry-After hints never extend past it "
+                                   "(default: unbounded)")
+    route_parser.add_argument("--retry-seed", type=int, default=None,
+                              metavar="SEED",
+                              help="seed the backoff-jitter RNG for "
+                                   "reproducible retry timing (default: "
+                                   "unseeded)")
+
+    cluster_parser = sub.add_parser(
+        "cluster", help="inspect a running cluster router")
+    cluster_parser.add_argument("action", choices=("status",),
+                                help="status: print the router's shard "
+                                     "membership table")
+    cluster_parser.add_argument("url", metavar="URL",
+                                help="router base URL, e.g. "
+                                     "http://127.0.0.1:8766")
+    cluster_parser.add_argument("--timeout", type=float, default=10.0,
+                                metavar="SECONDS",
+                                help="HTTP budget for the status request "
+                                     "(default: 10)")
 
     cache_parser = sub.add_parser(
         "cache", help="inspect or maintain a result cache")
@@ -548,10 +592,19 @@ def _command_route(args: argparse.Namespace) -> int:
 
     from .cluster import ShardRouter
 
+    import random as random_module
+
+    rng = (random_module.Random(args.retry_seed)
+           if args.retry_seed is not None else None)
     try:
         router = ShardRouter(args.shards, host=args.host, port=args.port,
                              connect_timeout=args.connect_timeout,
-                             probe_timeout=args.probe_timeout)
+                             probe_timeout=args.probe_timeout,
+                             health_interval=args.health_interval,
+                             dead_after=args.dead_after,
+                             max_attempts=args.max_attempts,
+                             request_deadline=args.request_deadline,
+                             rng=rng)
     except ValueError as exc:
         raise SystemExit(f"route: {exc}")
 
@@ -564,9 +617,14 @@ def _command_route(args: argparse.Namespace) -> int:
             except (NotImplementedError, RuntimeError):  # pragma: no cover
                 pass
         await router.start()
+        await router.probe_once()  # so the readiness line reports live counts
         print(f"[route] routing over {len(router.shards)} shard(s): "
               f"{', '.join(router.shards)}", flush=True)
+        # ``port=`` stays last: the e2e scripts extract it with
+        # ``sed 's/.*port=//'``.
         print(f"RESCQ_READY role=route host={router.host} "
+              f"shards={router.membership.live_count}/"
+              f"{len(router.membership)} "
               f"port={router.port}", flush=True)
         await stop.wait()
         print("[route] draining...", flush=True)
@@ -574,9 +632,54 @@ def _command_route(args: argparse.Namespace) -> int:
         stats = router.stats
         print(f"[route] stopped; requests={stats.requests} "
               f"jobs={stats.jobs} retried={stats.retried} "
+              f"recovered={stats.recovered} gave_up={stats.gave_up} "
               f"rejected={stats.rejected} failed={stats.failed}", flush=True)
 
     asyncio.run(_route())
+    return 0
+
+
+def _command_cluster(args: argparse.Namespace) -> int:
+    import http.client
+    import json as json_module
+    from urllib.parse import urlsplit
+
+    from .cluster.membership import membership_rows
+
+    split = urlsplit(args.url)
+    if split.scheme != "http" or not split.hostname:
+        raise SystemExit(f"cluster: router URL must look like "
+                         f"http://host:port, got {args.url!r}")
+    port = split.port if split.port is not None else 80
+    path = split.path.rstrip("/") + "/shards"
+    connection = http.client.HTTPConnection(split.hostname, port,
+                                            timeout=args.timeout)
+    try:
+        connection.request("GET", path)
+        response = connection.getresponse()
+        data = response.read()
+        if response.status != 200:
+            raise SystemExit(f"cluster: {args.url} answered HTTP "
+                             f"{response.status}: "
+                             f"{data[:200].decode('utf-8', 'replace')}")
+    except OSError as exc:
+        raise SystemExit(f"cluster: cannot reach {args.url}: {exc}")
+    finally:
+        connection.close()
+    try:
+        snapshot = json_module.loads(data.decode("utf-8"))["membership"]
+    except (ValueError, KeyError, UnicodeDecodeError) as exc:
+        raise SystemExit(f"cluster: malformed /shards payload from "
+                         f"{args.url}: {exc}")
+    counts = snapshot.get("counts", {})
+    total = sum(value for value in counts.values() if isinstance(value, int))
+    print(f"[cluster] {args.url}: {counts.get('live', 0)}/{total} live "
+          f"(suspect={counts.get('suspect', 0)} "
+          f"dead={counts.get('dead', 0)} "
+          f"draining={counts.get('draining', 0)}; "
+          f"dead_after={snapshot.get('dead_after', '?')})")
+    print(format_table(membership_rows(snapshot),
+                       title="Shard membership"))
     return 0
 
 
@@ -657,6 +760,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _command_serve(args)
     if args.command == "route":
         return _command_route(args)
+    if args.command == "cluster":
+        return _command_cluster(args)
     if args.command == "cache":
         return _command_cache(args)
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover

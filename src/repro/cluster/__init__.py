@@ -9,8 +9,15 @@ package makes N such hosts act as *one* deduplicating service:
 * :mod:`~repro.cluster.router` — the ``rescq route`` asyncio front end:
   expands a spec, fans per-shard sub-plans out over the wire, and merges
   the NDJSON row streams back into one canonical, plan-ordered response;
+* :mod:`~repro.cluster.membership` — the live shard set: a
+  LIVE/SUSPECT/DEAD/DRAINING state machine fed by health probes and
+  connect failures, replacing the static start-up shard list;
+* :mod:`~repro.cluster.chaos` — deterministic fault injection: a
+  :class:`FaultPlan` schedule applied by a TCP :class:`ChaosProxy`
+  between router and shard, so failure handling is *tested*, not hoped;
 * :mod:`~repro.cluster.harness` — an in-process N-shard + router cluster
-  used by the tests and the service load benchmark.
+  used by the tests and the service load benchmark (optionally under a
+  fault plan via :meth:`ClusterHarness.with_faults`).
 
 Cross-shard result sharing uses the cache peer protocol from
 :class:`~repro.exec.cache.HttpCache` / the server's ``/cache`` routes, not
@@ -18,9 +25,14 @@ anything in this package: shards stay shared-nothing, the router stays
 stateless, and the only coordination point is the write-once cache tier.
 """
 
+from .chaos import ChaosProxy, Fault, FaultPlan
 from .harness import ClusterHarness
 from .hashring import hrw_score, rank_nodes
+from .membership import (DEAD, DRAINING, LIVE, SUSPECT, ShardInfo, ShardSet,
+                         membership_rows)
 from .router import RouterStats, ShardRouter
 
-__all__ = ["ClusterHarness", "RouterStats", "ShardRouter", "hrw_score",
+__all__ = ["ChaosProxy", "ClusterHarness", "DEAD", "DRAINING", "Fault",
+           "FaultPlan", "LIVE", "RouterStats", "ShardInfo", "ShardRouter",
+           "ShardSet", "SUSPECT", "hrw_score", "membership_rows",
            "rank_nodes"]

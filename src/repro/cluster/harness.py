@@ -17,12 +17,14 @@ import http.client
 import json
 import tempfile
 import threading
-from typing import Callable, List, Optional, Tuple
+from typing import (Awaitable, Callable, Dict, List, Mapping, Optional,
+                    Tuple, Union)
 
 from ..exec.cache import CacheBackend, DirectoryCache
 from ..service.executor import ServiceExecutor
 from ..service.server import ExperimentServer
 from ..service.service import ExperimentService
+from .chaos import ChaosProxy, FaultPlan
 from .router import ShardRouter
 
 __all__ = ["ClusterHarness"]
@@ -51,7 +53,9 @@ class ClusterHarness:
                  max_pending: Optional[int] = None,
                  retry_after: float = 1.0,
                  poll_interval: float = 0.01,
-                 start_timeout: float = 120.0) -> None:
+                 start_timeout: float = 120.0,
+                 router_options: Optional[Mapping[str, object]] = None,
+                 ) -> None:
         if shards < 1:
             raise ValueError("a cluster needs at least one shard")
         self.num_shards = shards
@@ -61,14 +65,46 @@ class ClusterHarness:
         self.retry_after = retry_after
         self.poll_interval = poll_interval
         self.start_timeout = start_timeout
+        #: Extra keyword arguments for the :class:`ShardRouter` (e.g.
+        #: ``max_attempts``, ``dead_after``, ``rng`` — anything its
+        #: constructor takes beyond the shard list and port).
+        self.router_options: Dict[str, object] = dict(router_options or {})
         self._cache_factory = cache_factory
+        self._fault_plans: Dict[int, FaultPlan] = {}
         self._tempdir: Optional[tempfile.TemporaryDirectory] = None
         self.servers: List[ExperimentServer] = []
+        self.proxies: Dict[int, ChaosProxy] = {}
         self.router: Optional[ShardRouter] = None
         self._thread: Optional[threading.Thread] = None
         self._box: dict = {}
         self._started = threading.Event()
         self._failure: Optional[BaseException] = None
+
+    def with_faults(self, plans: Union[FaultPlan,
+                                       Mapping[int, FaultPlan]],
+                    ) -> "ClusterHarness":
+        """Interpose a :class:`ChaosProxy` between router and shard(s).
+
+        ``plans`` is either one :class:`FaultPlan` (applied to shard 0) or
+        a ``{shard_index: FaultPlan}`` mapping.  Must be called before
+        :meth:`start`.  The router is then pointed at the proxy URL for
+        each faulted shard, so its traffic — and only its traffic — flows
+        through the fault schedule; direct ``shard_request`` calls and
+        cache-peer traffic keep using the real shard port.
+        """
+        if self._thread is not None or self._started.is_set():
+            raise RuntimeError("with_faults() must be called before start()")
+        if isinstance(plans, FaultPlan):
+            plans = {0: plans}
+        for index, plan in plans.items():
+            if not 0 <= index < self.num_shards:
+                raise ValueError(f"no shard {index} in a "
+                                 f"{self.num_shards}-shard cluster")
+            if not isinstance(plan, FaultPlan):
+                raise TypeError(f"expected a FaultPlan for shard {index}, "
+                                f"got {plan!r}")
+            self._fault_plans[index] = plan
+        return self
 
     # -- lifecycle -------------------------------------------------------------
 
@@ -93,15 +129,26 @@ class ClusterHarness:
         def runner() -> None:
             async def main() -> None:
                 started_servers: List[ExperimentServer] = []
+                started_proxies: List[ChaosProxy] = []
                 try:
                     for server in self.servers:
                         await server.start()
                         started_servers.append(server)
+                    for index, plan in self._fault_plans.items():
+                        proxy = ChaosProxy("127.0.0.1",
+                                           self.servers[index].port,
+                                           plan=plan)
+                        await proxy.start()
+                        started_proxies.append(proxy)
+                        self.proxies[index] = proxy
                     if self.with_router:
-                        self.router = ShardRouter(self.shard_urls, port=0)
+                        self.router = ShardRouter(self.routed_urls, port=0,
+                                                  **self.router_options)
                         await self.router.start()
                 except BaseException as exc:  # noqa: BLE001 - report to caller
                     self._failure = exc
+                    for proxy in started_proxies:
+                        await proxy.stop()
                     for server in started_servers:
                         await server.stop(drain=False)
                     self._started.set()
@@ -112,6 +159,8 @@ class ClusterHarness:
                 await self._box["stop"].wait()
                 if self.router is not None:
                     await self.router.stop()
+                for proxy in self.proxies.values():
+                    await proxy.stop()
                 for server in self.servers:
                     await server.stop(drain=True)
             asyncio.run(main())
@@ -157,6 +206,13 @@ class ClusterHarness:
         return [f"http://127.0.0.1:{port}" for port in self.shard_ports]
 
     @property
+    def routed_urls(self) -> List[str]:
+        """What the router actually dials: proxy URLs for faulted shards."""
+        return [self.proxies[index].url if index in self.proxies
+                else url
+                for index, url in enumerate(self.shard_urls)]
+
+    @property
     def router_port(self) -> int:
         if self.router is None:
             raise RuntimeError("this harness was built with router=False")
@@ -165,6 +221,35 @@ class ClusterHarness:
     @property
     def router_url(self) -> str:
         return f"http://127.0.0.1:{self.router_port}"
+
+    # -- loop helpers ----------------------------------------------------------
+
+    def call(self, factory: Callable[[], Awaitable], timeout: float = 60.0):
+        """Run ``factory()`` (a coroutine) on the cluster's event loop."""
+        if "loop" not in self._box:
+            raise RuntimeError("cluster is not running")
+        future = asyncio.run_coroutine_threadsafe(factory(),
+                                                  self._box["loop"])
+        return future.result(timeout)
+
+    def probe_once(self) -> dict:
+        """Drive one router health-probe round synchronously (no clocks)."""
+        if self.router is None:
+            raise RuntimeError("this harness was built with router=False")
+        return self.call(self.router.probe_once)
+
+    def set_fault_plan(self, index: int, plan: FaultPlan) -> None:
+        """Swap the running fault schedule on shard ``index``'s proxy.
+
+        Only shards that had a plan at :meth:`start` time have a proxy to
+        swap on; the new plan starts from its own cursor.
+        """
+        proxy = self.proxies.get(index)
+        if proxy is None:
+            raise RuntimeError(
+                f"shard {index} has no chaos proxy; pass a plan for it in "
+                f"with_faults() before start()")
+        proxy.plan = plan
 
     # -- client helpers --------------------------------------------------------
 

@@ -1,0 +1,245 @@
+"""Live shard membership: the LIVE/SUSPECT/DEAD state machine behind routing.
+
+PR 7's router took a static shard list at start-up; this module makes the
+shard set a living object the router owns.  Every shard is tracked through
+a small, explicit state machine::
+
+                 probe/connect failure
+        LIVE ──────────────────────────> SUSPECT
+          ^                                 │
+          │ probe success                   │ dead_after consecutive
+          │ (rejoin resets counters)        │ failures
+          │                                 v
+        SUSPECT/DEAD <──────────────────  DEAD
+                        probe success
+
+    DRAINING is entered only via the admin surface (``POST /shards`` with
+    ``action=drain``); a draining shard takes no new placements but is
+    never declared dead — re-adding it returns it to LIVE.
+
+Design rules, all of which exist so the failure paths are *testable*:
+
+* **No wall-clock coupling.**  ``ShardSet`` never sleeps and never reads a
+  clock; state moves only when :meth:`record_success` /
+  :meth:`record_failure` are called.  The router's periodic probe loop is
+  just one caller — tests drive the same transitions synchronously.
+* **SUSPECT still routes.**  A single connect blip marks a shard SUSPECT
+  immediately (so operators see it in ``/stats``) but does not move its
+  keys: HRW ranking keeps placement stable through transient faults, and
+  the router's per-request failover already skips a shard that fails
+  *again*.  Only DEAD/DRAINING shards leave the routable set — and HRW
+  guarantees that removes/returns only the minimal ``~1/N`` of keys.
+* **Recovery is automatic.**  DEAD shards keep being probed; one probe
+  success rejoins them as LIVE with counters reset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..service.httpcore import parse_http_url
+
+__all__ = ["LIVE", "SUSPECT", "DEAD", "DRAINING", "ShardInfo", "ShardSet",
+           "membership_rows"]
+
+#: Shard states.  Plain strings (not an Enum) so snapshots serialise
+#: directly into the canonical-JSON ``/stats`` payload.
+LIVE = "live"
+SUSPECT = "suspect"
+DEAD = "dead"
+DRAINING = "draining"
+
+_STATES = (LIVE, SUSPECT, DEAD, DRAINING)
+
+
+@dataclass
+class ShardInfo:
+    """One shard's membership record."""
+
+    url: str
+    state: str = LIVE
+    consecutive_failures: int = 0
+    probes: int = 0       # lifetime success+failure observations
+    failures: int = 0     # lifetime failures
+    recoveries: int = 0   # SUSPECT/DEAD -> LIVE transitions
+    last_error: Optional[str] = None
+    drained: bool = field(default=False, repr=False)
+
+    @property
+    def routable(self) -> bool:
+        return self.state in (LIVE, SUSPECT)
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "state": self.state,
+            "consecutive_failures": self.consecutive_failures,
+            "probes": self.probes,
+            "failures": self.failures,
+            "recoveries": self.recoveries,
+            "last_error": self.last_error,
+        }
+
+
+class ShardSet:
+    """The router's live membership table.
+
+    Not thread-safe by design: in the router every mutation happens on the
+    event loop (probe loop, connect failures, admin requests), and tests
+    drive it synchronously.
+    """
+
+    def __init__(self, urls: Sequence[str], dead_after: int = 3) -> None:
+        if not urls:
+            raise ValueError("a router needs at least one shard URL")
+        if dead_after < 1:
+            raise ValueError("dead_after must be >= 1")
+        self.dead_after = dead_after
+        self._shards: Dict[str, ShardInfo] = {}
+        self._endpoints: Dict[str, Tuple[str, int, str]] = {}
+        for url in urls:
+            if not self.add(url):
+                raise ValueError(f"duplicate shard URLs in {list(urls)}")
+
+    # -- membership mutation ---------------------------------------------------
+
+    def add(self, url: str) -> bool:
+        """Add (or revive) a shard; returns ``False`` if already present.
+
+        Re-adding a DRAINING or DEAD shard is the operator's "bring it
+        back" verb: it rejoins as LIVE with failure counters reset.
+        """
+        normalised = url.rstrip("/")
+        endpoint = parse_http_url(normalised)  # raises ValueError when bad
+        info = self._shards.get(normalised)
+        if info is not None:
+            if info.state in (DRAINING, DEAD):
+                info.state = LIVE
+                info.consecutive_failures = 0
+                info.drained = False
+                info.last_error = None
+                return True
+            return False
+        self._shards[normalised] = ShardInfo(url=normalised)
+        self._endpoints[normalised] = endpoint
+        return True
+
+    def drain(self, url: str) -> None:
+        """Stop placing new work on ``url`` (it stays in the member list)."""
+        info = self._require(url.rstrip("/"))
+        info.state = DRAINING
+        info.drained = True
+        info.consecutive_failures = 0
+
+    def record_success(self, url: str) -> None:
+        """A probe or request against ``url`` succeeded."""
+        info = self._require(url)
+        info.probes += 1
+        if info.state == DRAINING:
+            return
+        if info.state in (SUSPECT, DEAD):
+            info.recoveries += 1
+        info.state = LIVE
+        info.consecutive_failures = 0
+        info.last_error = None
+
+    def record_failure(self, url: str, error: Optional[str] = None) -> None:
+        """A probe or connect against ``url`` failed.
+
+        The first failure marks the shard SUSPECT immediately;
+        ``dead_after`` *consecutive* failures mark it DEAD.  DRAINING
+        shards keep their state (they are already out of the routable
+        set).
+        """
+        info = self._require(url)
+        info.probes += 1
+        info.failures += 1
+        info.consecutive_failures += 1
+        if error is not None:
+            info.last_error = error
+        if info.state == DRAINING:
+            return
+        if info.consecutive_failures >= self.dead_after:
+            info.state = DEAD
+        else:
+            info.state = SUSPECT
+
+    def _require(self, url: str) -> ShardInfo:
+        info = self._shards.get(url)
+        if info is None:
+            raise KeyError(f"unknown shard {url!r}; members: {self.urls}")
+        return info
+
+    # -- views -----------------------------------------------------------------
+
+    @property
+    def urls(self) -> Tuple[str, ...]:
+        """Every member URL, in join order (includes DEAD/DRAINING)."""
+        return tuple(self._shards)
+
+    def routable(self) -> Tuple[str, ...]:
+        """The URLs placements may target right now (LIVE + SUSPECT)."""
+        return tuple(url for url, info in self._shards.items()
+                     if info.routable)
+
+    def probe_targets(self) -> Tuple[str, ...]:
+        """The URLs the health loop should probe (everything not draining —
+        DEAD shards keep being probed so they can rejoin automatically)."""
+        return tuple(url for url, info in self._shards.items()
+                     if info.state != DRAINING)
+
+    def endpoint(self, url: str) -> Tuple[str, int, str]:
+        return self._endpoints[url]
+
+    def get(self, url: str) -> ShardInfo:
+        return self._require(url.rstrip("/"))
+
+    def __contains__(self, url: str) -> bool:
+        return url.rstrip("/") in self._shards
+
+    def __len__(self) -> int:
+        return len(self._shards)
+
+    @property
+    def live_count(self) -> int:
+        return sum(1 for info in self._shards.values() if info.state == LIVE)
+
+    def counts(self) -> Dict[str, int]:
+        counts = {state: 0 for state in _STATES}
+        for info in self._shards.values():
+            counts[info.state] += 1
+        return counts
+
+    def snapshot(self) -> Dict[str, object]:
+        """The ``/stats`` membership section (JSON-ready, deterministic)."""
+        return {
+            "dead_after": self.dead_after,
+            "counts": self.counts(),
+            "shards": {url: info.snapshot()
+                       for url, info in self._shards.items()},
+        }
+
+    def describe(self) -> str:
+        counts = self.counts()
+        return (f"shards={counts[LIVE]}/{len(self)} live "
+                f"(suspect={counts[SUSPECT]} dead={counts[DEAD]} "
+                f"draining={counts[DRAINING]})")
+
+
+def membership_rows(snapshot: Dict[str, object]) -> List[Dict[str, object]]:
+    """Flatten a membership snapshot into table rows for the CLI."""
+    shards = snapshot.get("shards", {})
+    rows = []
+    for url, info in shards.items():
+        if not isinstance(info, dict):
+            continue
+        rows.append({
+            "shard": url,
+            "state": info.get("state", "?"),
+            "consec_failures": info.get("consecutive_failures", 0),
+            "probes": info.get("probes", 0),
+            "failures": info.get("failures", 0),
+            "recoveries": info.get("recoveries", 0),
+            "last_error": (info.get("last_error") or "-"),
+        })
+    return rows

@@ -1,51 +1,70 @@
 """The ``rescq route`` shard router: N serve instances, one front end.
 
-The router owns no executor and no cache — it is a stateless fan-out/merge
-layer over a fleet of :class:`~repro.service.server.ExperimentServer`
-shards:
+The router owns no executor and no cache — it is a fan-out/merge layer
+over a fleet of :class:`~repro.service.server.ExperimentServer` shards,
+with a live view of which shards are actually serving:
 
-1. **Expand.**  An incoming spec is validated and expanded locally (plan
+1. **Membership.**  The router owns a
+   :class:`~repro.cluster.membership.ShardSet`.  A periodic health loop
+   (``--health-interval``) probes every member's ``/healthz`` and moves
+   shards between LIVE/SUSPECT/DEAD (``--dead-after`` consecutive
+   failures); connect failures during routing mark a shard SUSPECT
+   immediately; recovered shards rejoin automatically; ``POST /shards``
+   adds or drains members at runtime.
+2. **Expand.**  An incoming spec is validated and expanded locally (plan
    expansion is deterministic, so the router and every shard derive the
    identical job list from the same spec bytes).
-2. **Place.**  Each job's fingerprint is rendezvous-hashed onto the shard
-   list (:func:`~repro.cluster.hashring.rank_nodes`), so identical jobs —
-   within one request, across requests, across *routers* — always land on
-   the same shard and hit its single-flight/cache layers.  A shard that
-   refuses TCP connections is retried to the next-ranked shard, bounded by
-   the shard count.
-3. **Fan out.**  Each shard receives one ``POST /experiments`` whose
-   envelope carries the original spec plus ``indices`` — the plan positions
-   it owns.  No circuits cross the wire.
-4. **Merge.**  The per-shard NDJSON streams are merged back into plan
-   order.  Data rows are passed through as raw bytes (preserving the
-   byte-identical-rows property of the single-server service); per-shard
-   trailing summaries are absorbed and re-emitted as one cluster-wide
-   summary.
+3. **Place.**  Each job's fingerprint is rendezvous-hashed onto the
+   *routable* (LIVE + SUSPECT) members
+   (:func:`~repro.cluster.hashring.rank_nodes`), so identical jobs always
+   land on the same shard and hit its single-flight/cache layers, and a
+   membership change moves only the minimal ``~1/N`` of keys.
+4. **Fan out.**  Each shard receives one ``POST /experiments`` whose
+   envelope carries the original spec plus ``indices`` — the plan
+   positions it owns.  No circuits cross the wire.
+5. **Merge, with recovery.**  The per-shard NDJSON streams are merged
+   back into plan order; data rows pass through as raw bytes (preserving
+   the byte-identical-rows property of the single-server service).  A
+   shard dying mid-stream no longer surfaces as per-position error
+   records: the unfinished positions are re-routed to each position's
+   next-ranked live shard under bounded attempts with exponential backoff
+   + full jitter (seeded RNG injectable) and an optional per-request
+   deadline.  Retries are safe because results are cache-idempotent:
+   fingerprinted jobs are write-once in the cache and single-flighted in
+   the service, so re-asking for a position can only return the same
+   canonical bytes.  Error records appear only after retries are
+   exhausted.
 
 Shard-level refusals happen *before* the router commits to a 200: a shard
-answering 429 (admission control) propagates as 429 + ``Retry-After``; any
-other non-200 becomes a 502.  Once streaming has begun, a dying shard
-degrades to per-job ``{"type": "error", ...}`` records instead of a torn
-response.
+answering 429 (admission control) propagates as 429 + the **largest**
+shard-provided ``Retry-After`` (capped against the request deadline); a
+shard that refuses connections or answers 5xx is retried to next-ranked
+shards and only becomes a client-visible 502 when every attempt is
+exhausted.
 
-``GET /healthz`` probes every shard and reports ``ok``/``degraded`` (503);
-``GET /stats`` aggregates cluster-wide executed/cache-hit/dedup counts.
+``GET /healthz`` probes every shard and reports ``ok``/``degraded``
+(503); ``GET /stats`` nests router counters, cluster-wide aggregates,
+per-shard snapshots and the membership table; ``GET/POST /shards`` is the
+admin surface.
 """
 
 from __future__ import annotations
 
 import asyncio
 import json
+import math
+import random
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..api.envelope import EnvelopeError, SubmissionEnvelope, SubmissionReport
 from ..api.spec import SpecValidationError
 from ..canonical import canonical_dumps
 from ..service.httpcore import (HttpError, http_request, iter_ndjson,
-                                open_http_stream, parse_http_url,
-                                read_request, send_head, send_json, send_line)
+                                open_http_stream, read_request, send_head,
+                                send_json, send_line)
 from .hashring import rank_nodes
+from .membership import DRAINING, ShardSet
 
 __all__ = ["RouterStats", "ShardRouter"]
 
@@ -56,7 +75,10 @@ class RouterStats:
 
     requests: int = 0       # submissions accepted for fan-out
     jobs: int = 0           # plan positions routed
-    retried: int = 0        # positions re-routed after a shard connect failure
+    retried: int = 0        # positions re-routed after a pre-stream failure
+    recovered: int = 0      # positions recovered after a mid-stream death
+    gave_up: int = 0        # positions surfaced as errors after retries
+    backoff_waits: int = 0  # backoff sleeps taken on any retry path
     rejected: int = 0       # submissions refused with 429 (shard admission)
     failed: int = 0         # submissions that died before streaming (502/400)
     stream_errors: int = 0  # error records forwarded or synthesised mid-stream
@@ -66,6 +88,9 @@ class RouterStats:
             "requests": self.requests,
             "jobs": self.jobs,
             "retried": self.retried,
+            "recovered": self.recovered,
+            "gave_up": self.gave_up,
+            "backoff_waits": self.backoff_waits,
             "rejected": self.rejected,
             "failed": self.failed,
             "stream_errors": self.stream_errors,
@@ -77,24 +102,40 @@ class ShardRouter:
 
     def __init__(self, shards: Sequence[str], host: str = "127.0.0.1",
                  port: int = 8766, connect_timeout: float = 5.0,
-                 probe_timeout: float = 2.0) -> None:
-        if not shards:
-            raise ValueError("a router needs at least one shard URL")
-        parsed = {}
-        for url in shards:
-            normalised = url.rstrip("/")
-            parsed[normalised] = parse_http_url(normalised)  # raises ValueError
-        if len(parsed) != len(shards):
-            raise ValueError(f"duplicate shard URLs in {list(shards)}")
-        self.shards: Tuple[str, ...] = tuple(parsed)
-        self._endpoints: Dict[str, Tuple[str, int, str]] = parsed
+                 probe_timeout: float = 2.0,
+                 health_interval: float = 0.0,
+                 dead_after: int = 3,
+                 max_attempts: int = 4,
+                 backoff_base: float = 0.05,
+                 backoff_cap: float = 2.0,
+                 request_deadline: Optional[float] = None,
+                 rng: Optional[random.Random] = None) -> None:
+        self.membership = ShardSet(shards, dead_after=dead_after)
         self.host = host
         self.port = port
         self.connect_timeout = connect_timeout
         self.probe_timeout = probe_timeout
+        #: Seconds between automatic health-probe rounds; ``0`` disables
+        #: the background loop (tests drive :meth:`probe_once` manually).
+        self.health_interval = health_interval
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        self.max_attempts = max_attempts
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        #: Optional per-request wall budget, seconds.  Retries (and the
+        #: Retry-After hint on 429s) never extend past it.
+        self.request_deadline = request_deadline
+        self._rng = rng if rng is not None else random.Random()
         self.stats = RouterStats()
         self._server: Optional[asyncio.AbstractServer] = None
         self._handlers: set = set()
+        self._probe_task: Optional[asyncio.Task] = None
+
+    @property
+    def shards(self) -> Tuple[str, ...]:
+        """Every member URL (in join order, regardless of state)."""
+        return self.membership.urls
 
     # -- lifecycle -------------------------------------------------------------
 
@@ -105,9 +146,18 @@ class ShardRouter:
         for sock in self._server.sockets or ():
             self.port = sock.getsockname()[1]
             break
+        if self.health_interval > 0:
+            self._probe_task = asyncio.ensure_future(self._probe_loop())
 
     async def stop(self) -> None:
         """Stop accepting and finish in-flight requests."""
+        if self._probe_task is not None:
+            self._probe_task.cancel()
+            try:
+                await self._probe_task
+            except asyncio.CancelledError:
+                pass
+            self._probe_task = None
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -118,6 +168,48 @@ class ShardRouter:
     @property
     def in_flight_requests(self) -> int:
         return len(self._handlers)
+
+    # -- health probing --------------------------------------------------------
+
+    async def _probe_loop(self) -> None:
+        while True:
+            await asyncio.sleep(self.health_interval)
+            await self.probe_once()
+
+    async def probe_once(self) -> Dict[str, Tuple[str, Optional[dict]]]:
+        """One probe round over every non-draining member.
+
+        Feeds the results into the membership state machine (this is the
+        body of the background health loop, exposed so tests can drive
+        the LIVE/SUSPECT/DEAD transitions without wall-clock sleeps) and
+        returns ``{url: (state_text, healthz_payload_or_None)}``.
+        """
+        targets = self.membership.probe_targets()
+        probes = await asyncio.gather(
+            *(self._probe(url) for url in targets))
+        results: Dict[str, Tuple[str, Optional[dict]]] = {}
+        for url, (state, payload) in zip(targets, probes):
+            if state == "ok":
+                self.membership.record_success(url)
+            else:
+                self.membership.record_failure(url, state)
+            results[url] = (state, payload)
+        return results
+
+    async def _probe(self, url: str) -> Tuple[str, Optional[dict]]:
+        host, port, base = self.membership.endpoint(url)
+        try:
+            status, _headers, data = await http_request(
+                host, port, "GET", f"{base}/healthz",
+                timeout=self.probe_timeout)
+        except (OSError, asyncio.TimeoutError) as exc:
+            return f"unreachable: {exc}", None
+        if status != 200:
+            return f"unhealthy: HTTP {status}", None
+        try:
+            return "ok", json.loads(data.decode("utf-8"))
+        except ValueError:
+            return "unhealthy: bad healthz payload", None
 
     # -- connection handling ---------------------------------------------------
 
@@ -162,6 +254,8 @@ class ShardRouter:
             if method != "GET":
                 raise HttpError(405, "use GET for /stats")
             await self._handle_stats(writer)
+        elif path == "/shards":
+            await self._handle_shards(method, body, writer)
         elif path in ("/experiments", "/"):
             if method != "POST":
                 raise HttpError(
@@ -170,38 +264,27 @@ class ShardRouter:
         else:
             raise HttpError(
                 404, f"unknown path {path!r}; routes: POST /experiments, "
-                     f"GET /healthz, GET /stats")
+                     f"GET /healthz, GET /stats, GET/POST /shards")
 
-    # -- health / stats --------------------------------------------------------
-
-    async def _probe(self, url: str) -> Tuple[str, Optional[dict]]:
-        host, port, base = self._endpoints[url]
-        try:
-            status, _headers, data = await http_request(
-                host, port, "GET", f"{base}/healthz",
-                timeout=self.probe_timeout)
-        except (OSError, asyncio.TimeoutError) as exc:
-            return f"unreachable: {exc}", None
-        if status != 200:
-            return f"unhealthy: HTTP {status}", None
-        try:
-            return "ok", json.loads(data.decode("utf-8"))
-        except ValueError:
-            return "unhealthy: bad healthz payload", None
+    # -- health / stats / admin ------------------------------------------------
 
     async def _handle_healthz(self, writer: asyncio.StreamWriter) -> None:
-        probes = await asyncio.gather(
-            *(self._probe(url) for url in self.shards))
-        shard_states = {url: state
-                        for url, (state, _payload) in zip(self.shards,
-                                                          probes)}
-        healthy = all(state == "ok" for state in shard_states.values())
+        results = await self.probe_once()
+        shard_states = {}
+        for url in self.membership.urls:
+            if url in results:
+                shard_states[url] = results[url][0]
+            else:
+                shard_states[url] = DRAINING
+        healthy = all(state == "ok"
+                      for state, _payload in results.values())
         payload = {"status": "ok" if healthy else "degraded",
-                   "shards": shard_states}
+                   "shards": shard_states,
+                   "membership": self.membership.counts()}
         await send_json(writer, 200 if healthy else 503, payload)
 
     async def _shard_snapshot(self, url: str) -> Optional[dict]:
-        host, port, base = self._endpoints[url]
+        host, port, base = self.membership.endpoint(url)
         try:
             status, _headers, data = await http_request(
                 host, port, "GET", f"{base}/stats",
@@ -213,12 +296,13 @@ class ShardRouter:
             return None
 
     async def _handle_stats(self, writer: asyncio.StreamWriter) -> None:
+        urls = self.membership.urls
         snapshots = await asyncio.gather(
-            *(self._shard_snapshot(url) for url in self.shards))
+            *(self._shard_snapshot(url) for url in urls))
         cluster = {"requests": 0, "jobs": 0, "executed": 0, "cache_hits": 0,
                    "deduped": 0, "errors": 0, "rejected": 0}
         shard_stats: Dict[str, object] = {}
-        for url, snapshot in zip(self.shards, snapshots):
+        for url, snapshot in zip(urls, snapshots):
             if snapshot is None:
                 shard_stats[url] = None
                 continue
@@ -231,7 +315,94 @@ class ShardRouter:
             "router": self.stats.snapshot(),
             "cluster": cluster,
             "shards": shard_stats,
+            "membership": self.membership.snapshot(),
         })
+
+    async def _handle_shards(self, method: str, body: bytes,
+                             writer: asyncio.StreamWriter) -> None:
+        """The admin surface: list members, add a shard, drain a shard."""
+        if method == "GET":
+            await send_json(writer, 200,
+                            {"membership": self.membership.snapshot()})
+            return
+        if method != "POST":
+            raise HttpError(405, "use GET (list) or POST (add/drain) "
+                                 "for /shards")
+        try:
+            payload = json.loads(body.decode("utf-8"))
+            action = payload["action"]
+            url = payload["url"]
+        except (UnicodeDecodeError, ValueError, KeyError, TypeError) as exc:
+            raise HttpError(
+                400, f"expected {{\"action\": \"add\"|\"drain\", "
+                     f"\"url\": ...}}: {exc}") from None
+        if not isinstance(url, str):
+            raise HttpError(400, f"shard url must be a string, got {url!r}")
+        if action == "add":
+            try:
+                changed = self.membership.add(url)
+            except ValueError as exc:
+                raise HttpError(400, str(exc)) from None
+        elif action == "drain":
+            try:
+                self.membership.drain(url)
+            except KeyError as exc:
+                raise HttpError(404, str(exc.args[0])) from None
+            changed = True
+        else:
+            raise HttpError(400, f"unknown action {action!r}; "
+                                 f"actions: add, drain")
+        await send_json(writer, 200, {
+            "action": action,
+            "url": url.rstrip("/"),
+            "changed": changed,
+            "membership": self.membership.snapshot(),
+        })
+
+    # -- retry plumbing --------------------------------------------------------
+
+    def _deadline_for_request(self) -> Optional[float]:
+        if self.request_deadline is None:
+            return None
+        return asyncio.get_event_loop().time() + self.request_deadline
+
+    @staticmethod
+    def _deadline_remaining(deadline: Optional[float]) -> Optional[float]:
+        if deadline is None:
+            return None
+        return deadline - asyncio.get_event_loop().time()
+
+    def _backoff_delay(self, attempt: int,
+                       deadline: Optional[float]) -> float:
+        """Exponential backoff with full jitter, capped by the deadline.
+
+        ``delay ~ U(0, min(cap, base * 2^(attempt-1)))`` — full jitter
+        (AWS-style) decorrelates concurrent retriers; the RNG is the
+        router's injectable seeded instance, so tests are deterministic.
+        """
+        ceiling = min(self.backoff_cap,
+                      self.backoff_base * (2 ** max(0, attempt - 1)))
+        delay = self._rng.random() * ceiling
+        remaining = self._deadline_remaining(deadline)
+        if remaining is not None:
+            delay = min(delay, max(0.0, remaining))
+        return delay
+
+    async def _backoff(self, attempt: int,
+                       deadline: Optional[float]) -> None:
+        delay = self._backoff_delay(attempt, deadline)
+        if delay > 0:
+            self.stats.backoff_waits += 1
+            await asyncio.sleep(delay)
+
+    def _retry_after_header(self, values: Sequence[float],
+                            deadline: Optional[float]) -> Dict[str, str]:
+        """Honor the largest shard-provided Retry-After, deadline-capped."""
+        hint = max(values) if values else 1.0
+        remaining = self._deadline_remaining(deadline)
+        if remaining is not None:
+            hint = min(hint, max(0.0, remaining))
+        return {"Retry-After": str(max(1, math.ceil(hint)))}
 
     # -- submission fan-out / merge --------------------------------------------
 
@@ -268,8 +439,11 @@ class ShardRouter:
 
         self.stats.requests += 1
         self.stats.jobs += len(fingerprints)
-        streams = await self._open_shard_streams(envelope, fingerprints)
-        await self._merge_streams(envelope, fingerprints, streams, writer)
+        deadline = self._deadline_for_request()
+        streams = await self._open_shard_streams(envelope, fingerprints,
+                                                 deadline)
+        await self._merge_streams(envelope, fingerprints, streams, writer,
+                                  deadline)
 
     def _sub_envelope(self, envelope: SubmissionEnvelope,
                       positions: Sequence[int]) -> bytes:
@@ -281,22 +455,28 @@ class ShardRouter:
     async def _open_shard_streams(
             self, envelope: SubmissionEnvelope,
             fingerprints: Dict[int, str],
+            deadline: Optional[float],
     ) -> List[Tuple[str, List[int], asyncio.StreamReader,
                     asyncio.StreamWriter]]:
         """Phase A: place every position and open one stream per shard.
 
         Completes (or raises) *before* the client sees any response bytes,
         so shard refusals map onto clean status codes: a shard 429
-        propagates as 429 + ``Retry-After``; other shard errors become 502.
-        Connect-level failures mark the shard dead for this request and
-        re-route its positions to each position's next-ranked live shard.
+        propagates as 429 + the largest shard-provided ``Retry-After``
+        (capped against the request deadline).  Connect failures and 5xx
+        answers mark the shard failed for this request, feed the
+        membership state machine, and re-route the positions to each
+        position's next-ranked live shard; when a pass leaves positions
+        with no candidate the failed set is cleared and the pass is
+        retried after a backoff, bounded by ``max_attempts`` — only then
+        does the client see a 502.
         """
-        rankings = {pos: rank_nodes(list(self.shards), fingerprint)
-                    for pos, fingerprint in fingerprints.items()}
-        dead: set = set()
+        dead: Set[str] = set()
         pending = set(fingerprints)
         streams: List[Tuple[str, List[int], asyncio.StreamReader,
                             asyncio.StreamWriter]] = []
+        attempt = 0
+        last_error = "no routable shard"
 
         async def _abort(exc: HttpError) -> None:
             for _url, _positions, _reader, shard_writer in streams:
@@ -308,18 +488,29 @@ class ShardRouter:
             raise exc
 
         while pending:
+            routable = [url for url in self.membership.routable()
+                        if url not in dead]
+            remaining = self._deadline_remaining(deadline)
+            out_of_time = remaining is not None and remaining <= 0
+            if not routable:
+                attempt += 1
+                if attempt >= self.max_attempts or out_of_time:
+                    await _abort(HttpError(
+                        502, f"no shard reachable for "
+                             f"{len(pending)} job(s) after {attempt} "
+                             f"attempt(s) (members: "
+                             f"{list(self.membership.urls)}; last error: "
+                             f"{last_error})"))
+                await self._backoff(attempt, deadline)
+                dead.clear()
+                continue
             groups: Dict[str, List[int]] = {}
             for pos in sorted(pending):
-                targets = [url for url in rankings[pos] if url not in dead]
-                if not targets:
-                    await _abort(HttpError(
-                        502, f"no shard reachable for job "
-                             f"{fingerprints[pos]} (all of "
-                             f"{list(self.shards)} failed)"))
-                groups.setdefault(targets[0], []).append(pos)
+                ranking = rank_nodes(routable, fingerprints[pos])
+                groups.setdefault(ranking[0], []).append(pos)
 
             async def _open(url: str, positions: List[int]):
-                host, port, base = self._endpoints[url]
+                host, port, base = self.membership.endpoint(url)
                 body = self._sub_envelope(envelope, positions)
                 return await open_http_stream(
                     host, port, "POST", f"{base}/experiments", body=body,
@@ -329,17 +520,22 @@ class ShardRouter:
                 *(_open(url, positions)
                   for url, positions in groups.items()),
                 return_exceptions=True)
-            failures: List[HttpError] = []
+            admission_hints: List[float] = []
+            admission_message: Optional[str] = None
             for (url, positions), outcome in zip(groups.items(), opened):
                 if isinstance(outcome, (OSError, asyncio.TimeoutError)):
-                    # Connect-level failure: re-route these positions to
-                    # their next-ranked shards on the next pass.
+                    # Connect-level failure: suspect the shard and re-route
+                    # these positions on the next pass.
+                    self.membership.record_failure(url, str(outcome))
+                    last_error = f"{url}: {outcome}"
                     dead.add(url)
                     self.stats.retried += len(positions)
                     continue
                 if isinstance(outcome, BaseException):
-                    failures.append(HttpError(
-                        502, f"shard {url} failed: {outcome}"))
+                    self.membership.record_failure(url, str(outcome))
+                    last_error = f"{url}: {outcome}"
+                    dead.add(url)
+                    self.stats.retried += len(positions)
                     continue
                 status, headers, reader, shard_writer = outcome
                 if status == 200:
@@ -349,21 +545,30 @@ class ShardRouter:
                 data = await reader.read()
                 shard_writer.close()
                 if status == 429:
-                    failures.append(HttpError(
-                        429,
-                        _error_message(data, f"shard {url} refused the "
-                                             f"sub-plan (admission)"),
-                        headers={"Retry-After":
-                                 headers.get("retry-after", "1")}))
-                else:
-                    failures.append(HttpError(
-                        502, f"shard {url} answered HTTP {status}: "
-                             f"{_error_message(data, 'no detail')}"))
-            if failures:
-                # 429 beats 502 for the client: it carries Retry-After and
-                # means "back off", which subsumes a concurrent shard fault.
-                failures.sort(key=lambda exc: exc.status != 429)
-                await _abort(failures[0])
+                    # Admission refusal: the shard is healthy but busy —
+                    # back-pressure belongs to the client, not the retry
+                    # loop.  429 beats every concurrent shard fault.
+                    try:
+                        admission_hints.append(
+                            float(headers.get("retry-after", "1")))
+                    except ValueError:
+                        admission_hints.append(1.0)
+                    admission_message = _error_message(
+                        data, f"shard {url} refused the sub-plan "
+                              f"(admission)")
+                    continue
+                # Any other status: treat like a shard fault and re-route.
+                message = (f"shard {url} answered HTTP {status}: "
+                           f"{_error_message(data, 'no detail')}")
+                self.membership.record_failure(url, f"HTTP {status}")
+                last_error = message
+                dead.add(url)
+                self.stats.retried += len(positions)
+            if admission_message is not None:
+                await _abort(HttpError(
+                    429, admission_message,
+                    headers=self._retry_after_header(admission_hints,
+                                                     deadline)))
         return streams
 
     async def _merge_streams(
@@ -371,27 +576,53 @@ class ShardRouter:
             fingerprints: Dict[int, str],
             streams: List[Tuple[str, List[int], asyncio.StreamReader,
                                 asyncio.StreamWriter]],
-            writer: asyncio.StreamWriter) -> None:
-        """Phase B: stream the merged rows in plan order, then one summary."""
+            writer: asyncio.StreamWriter,
+            deadline: Optional[float]) -> None:
+        """Phase B: stream the merged rows in plan order, then one summary.
+
+        Pumps feed a queue with ``row``/``summary``/``end`` items; an
+        ``end`` carrying unfinished positions (a shard died mid-stream)
+        spawns a recovery task that re-routes those positions instead of
+        synthesising error records.  The loop runs until every expected
+        position was emitted — as a data row, a forwarded error, or (only
+        once retries are exhausted) a synthesised error record.
+        """
         await send_head(writer, 200, content_type="application/x-ndjson")
         queue: asyncio.Queue = asyncio.Queue()
-        summaries: Dict[str, dict] = {}
+        summaries: List[dict] = []
+        recoveries: set = set()
         pumps = [asyncio.ensure_future(
-                     self._pump(url, positions, reader, shard_writer,
-                                queue, summaries, fingerprints))
+                     self._pump(url, positions, reader, shard_writer, queue))
                  for url, positions, reader, shard_writer in streams]
         expected = sorted(fingerprints)
         buffered: Dict[int, Tuple[bytes, bool]] = {}
         next_index = 0
         errors = 0
-        remaining = len(pumps)
+        ends = 0
         try:
-            while remaining:
+            # Run until every expected row was emitted AND every opened
+            # stream reported its end — a shard's trailing summary line
+            # arrives after its last data row, so stopping at the final
+            # row would drop summaries still in flight.
+            while next_index < len(expected) or ends < len(pumps):
                 item = await queue.get()
-                if item is None:
-                    remaining -= 1
+                kind = item[0]
+                if kind == "summary":
+                    summaries.append(item[1])
                     continue
-                position, line, is_error = item
+                if kind == "end":
+                    ends += 1
+                    _kind, url, unfinished = item
+                    if unfinished:
+                        self.membership.record_failure(
+                            url, "disconnected mid-stream")
+                        task = asyncio.ensure_future(self._recover(
+                            envelope, fingerprints, unfinished, {url},
+                            deadline, queue))
+                        recoveries.add(task)
+                        task.add_done_callback(recoveries.discard)
+                    continue
+                _kind, position, line, is_error = item
                 buffered[position] = (line, is_error)
                 while (next_index < len(expected)
                        and expected[next_index] in buffered):
@@ -402,14 +633,24 @@ class ShardRouter:
                     writer.write(line)
                     await writer.drain()
                     next_index += 1
+            # Recovery fetches queue their summaries after their rows;
+            # let the tasks finish, then sweep what is left in the queue.
+            if recoveries:
+                await asyncio.gather(*list(recoveries),
+                                     return_exceptions=True)
+            while not queue.empty():
+                item = queue.get_nowait()
+                if item[0] == "summary":
+                    summaries.append(item[1])
         finally:
-            for pump in pumps:
-                pump.cancel()
-            await asyncio.gather(*pumps, return_exceptions=True)
+            for task in list(pumps) + list(recoveries):
+                task.cancel()
+            await asyncio.gather(*pumps, *recoveries,
+                                 return_exceptions=True)
 
-        executed = sum(s.get("executed", 0) for s in summaries.values())
-        cache_hits = sum(s.get("cache_hits", 0) for s in summaries.values())
-        deduped = sum(s.get("deduped", 0) for s in summaries.values())
+        executed = sum(s.get("executed", 0) for s in summaries)
+        cache_hits = sum(s.get("cache_hits", 0) for s in summaries)
+        deduped = sum(s.get("deduped", 0) for s in summaries)
         report = SubmissionReport(name=envelope.spec.name,
                                   jobs=len(expected),
                                   executed=executed,
@@ -422,14 +663,13 @@ class ShardRouter:
     async def _pump(self, url: str, positions: List[int],
                     reader: asyncio.StreamReader,
                     shard_writer: asyncio.StreamWriter,
-                    queue: asyncio.Queue, summaries: Dict[str, dict],
-                    fingerprints: Dict[int, str]) -> None:
+                    queue: asyncio.Queue) -> None:
         """Read one shard's stream; map its rows back onto plan positions.
 
-        The shard preserves sub-plan order, so its i-th non-summary line is
-        the row for ``positions[i]`` — data rows pass through as raw bytes.
-        If the shard dies mid-stream, every unfilled position gets a
-        synthesised error record instead of silently vanishing.
+        The shard preserves sub-plan order, so its i-th non-summary line
+        is the row for ``positions[i]`` — data rows pass through as raw
+        bytes.  When the stream ends, the ``end`` item reports any
+        unfinished positions so the merge loop can re-route them.
         """
         index = 0
         try:
@@ -440,23 +680,158 @@ class ShardRouter:
                     continue
                 if (isinstance(record, dict)
                         and record.get("type") == "summary"):
-                    summaries[url] = record
+                    await queue.put(("summary", record))
                     continue
                 if index < len(positions):
                     is_error = (isinstance(record, dict)
                                 and record.get("type") == "error")
-                    await queue.put((positions[index], bytes(line), is_error))
+                    await queue.put(("row", positions[index], bytes(line),
+                                     is_error))
                     index += 1
+        except (ConnectionError, OSError, asyncio.IncompleteReadError):
+            pass
         finally:
             shard_writer.close()
-            for position in positions[index:]:
-                record = {"type": "error",
-                          "fingerprint": fingerprints[position],
-                          "message": f"shard {url} disconnected before "
-                                     f"returning this job"}
-                line = (canonical_dumps(record) + "\n").encode("utf-8")
-                await queue.put((position, line, True))
-            await queue.put(None)
+            await queue.put(("end", url, positions[index:]))
+
+    async def _recover(self, envelope: SubmissionEnvelope,
+                       fingerprints: Dict[int, str],
+                       positions: Sequence[int],
+                       failed: Set[str],
+                       deadline: Optional[float],
+                       queue: asyncio.Queue) -> None:
+        """Re-route positions lost to a mid-stream shard death.
+
+        Bounded attempts with exponential backoff + full jitter; a 429
+        from the retry target stretches the next wait to the largest
+        shard-provided ``Retry-After`` (deadline-capped).  Every position
+        is eventually pushed onto the queue — as a recovered data row or,
+        only after the budget is spent, as a synthesised error record.
+        """
+        pending: List[int] = sorted(positions)
+        attempt = 1
+        reason = "mid-stream shard death"
+        try:
+            while pending:
+                remaining = self._deadline_remaining(deadline)
+                if attempt > self.max_attempts or (
+                        remaining is not None and remaining <= 0):
+                    break
+                await self._backoff(attempt, deadline)
+                candidates = [url for url in self.membership.routable()
+                              if url not in failed]
+                if not candidates:
+                    # Every routable member already failed this batch:
+                    # forgive history (a shard may have recovered) rather
+                    # than giving up while members remain.
+                    failed.clear()
+                    candidates = list(self.membership.routable())
+                if not candidates:
+                    reason = "no routable shard"
+                    attempt += 1
+                    continue
+                groups: Dict[str, List[int]] = {}
+                for pos in pending:
+                    ranking = rank_nodes(candidates, fingerprints[pos])
+                    groups.setdefault(ranking[0], []).append(pos)
+                retry_hints: List[float] = []
+                for url, group in groups.items():
+                    outcome, leftover, hint = await self._fetch_group(
+                        envelope, url, group, queue)
+                    if outcome == "ok":
+                        pending = [pos for pos in pending
+                                   if pos not in set(group)]
+                        continue
+                    if hint is not None:
+                        retry_hints.append(hint)
+                        reason = f"shard {url} admission (429)"
+                    else:
+                        failed.add(url)
+                        reason = f"shard {url} failed"
+                    delivered = set(group) - set(leftover)
+                    if delivered:
+                        pending = [pos for pos in pending
+                                   if pos not in delivered]
+                attempt += 1
+                if retry_hints and pending:
+                    hint = max(retry_hints)
+                    remaining = self._deadline_remaining(deadline)
+                    if remaining is not None:
+                        hint = min(hint, max(0.0, remaining))
+                    if hint > 0:
+                        self.stats.backoff_waits += 1
+                        await asyncio.sleep(hint)
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:  # noqa: BLE001 - recovery must terminate
+            reason = f"recovery error: {exc}"
+        for pos in pending:
+            self.stats.gave_up += 1
+            record = {"type": "error",
+                      "fingerprint": fingerprints[pos],
+                      "message": f"job lost mid-stream and not recovered "
+                                 f"after {attempt - 1} retry attempt(s): "
+                                 f"{reason}"}
+            line = (canonical_dumps(record) + "\n").encode("utf-8")
+            await queue.put(("row", pos, line, True))
+
+    async def _fetch_group(self, envelope: SubmissionEnvelope, url: str,
+                           positions: List[int], queue: asyncio.Queue,
+                           ) -> Tuple[str, List[int], Optional[float]]:
+        """One recovery sub-request: returns ``(outcome, leftover, hint)``.
+
+        ``outcome`` is ``"ok"`` when every position's row was delivered;
+        otherwise ``leftover`` holds the undelivered positions and
+        ``hint`` carries a shard-provided Retry-After (429 only).
+        """
+        host, port, base = self.membership.endpoint(url)
+        body = self._sub_envelope(envelope, positions)
+        try:
+            status, headers, reader, shard_writer = await open_http_stream(
+                host, port, "POST", f"{base}/experiments", body=body,
+                connect_timeout=self.connect_timeout, head_timeout=None)
+        except (OSError, asyncio.TimeoutError) as exc:
+            self.membership.record_failure(url, str(exc))
+            return "failed", list(positions), None
+        if status != 200:
+            data = await reader.read()
+            shard_writer.close()
+            if status == 429:
+                try:
+                    hint = float(headers.get("retry-after", "1"))
+                except ValueError:
+                    hint = 1.0
+                return "failed", list(positions), hint
+            self.membership.record_failure(
+                url, f"HTTP {status}: {_error_message(data, 'no detail')}")
+            return "failed", list(positions), None
+        ordered = sorted(positions)
+        index = 0
+        try:
+            async for line in iter_ndjson(reader):
+                try:
+                    record = json.loads(line)
+                except ValueError:
+                    continue
+                if (isinstance(record, dict)
+                        and record.get("type") == "summary"):
+                    await queue.put(("summary", record))
+                    continue
+                if index < len(ordered):
+                    is_error = (isinstance(record, dict)
+                                and record.get("type") == "error")
+                    self.stats.recovered += 1
+                    await queue.put(("row", ordered[index], bytes(line),
+                                     is_error))
+                    index += 1
+        except (ConnectionError, OSError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            shard_writer.close()
+        if index < len(ordered):
+            self.membership.record_failure(url, "disconnected mid-recovery")
+            return "failed", ordered[index:], None
+        return "ok", [], None
 
 
 def _error_message(data: bytes, fallback: str) -> str:

@@ -39,6 +39,7 @@ import abc
 import http.client
 import json
 import os
+import random
 import re
 import sqlite3
 import tempfile
@@ -72,14 +73,31 @@ FINGERPRINT_PATTERN = re.compile(r"^[0-9a-f]{6,128}$")
 
 @dataclass
 class CacheStats:
-    """Hit/miss/store counters accumulated over a cache's lifetime."""
+    """Hit/miss/store counters accumulated over a cache's lifetime.
+
+    The failure counters separate *why* a read degraded to a miss:
+    ``connect_errors`` (the peer was unreachable or answered a non-2xx)
+    versus ``corrupt_payloads`` (the peer answered but the payload did not
+    deserialise — a short read or bit-rot).  ``read_retries`` counts the
+    extra read attempts spent before giving up.
+    """
 
     hits: int = 0
     misses: int = 0
     stores: int = 0
+    connect_errors: int = 0
+    corrupt_payloads: int = 0
+    read_retries: int = 0
 
     def describe(self) -> str:
-        return f"hits={self.hits} misses={self.misses} stores={self.stores}"
+        text = f"hits={self.hits} misses={self.misses} stores={self.stores}"
+        if self.connect_errors:
+            text += f" connect_errors={self.connect_errors}"
+        if self.corrupt_payloads:
+            text += f" corrupt={self.corrupt_payloads}"
+        if self.read_retries:
+            text += f" read_retries={self.read_retries}"
+        return text
 
 
 @dataclass(frozen=True)
@@ -464,12 +482,25 @@ class HttpCache(CacheBackend):
     executor threads, never on the event loop.  A dead peer degrades
     *reads* to misses — a cluster keeps computing without its shared tier —
     while mutation calls raise ``OSError`` so callers notice lost writes.
+
+    Reads fail soft but not blind: a read that degrades to a miss is
+    classified (``connect_errors`` vs ``corrupt_payloads`` in ``stats``)
+    and retried up to ``read_retries`` extra times with a small jittered
+    backoff, so one dropped packet does not force a re-execution.  A clean
+    404 is an authoritative miss and is never retried.
     """
 
-    def __init__(self, url: str, timeout: float = 10.0) -> None:
+    def __init__(self, url: str, timeout: float = 10.0,
+                 read_retries: int = 2, retry_backoff: float = 0.05,
+                 rng: Optional[random.Random] = None) -> None:
         self.url = url
         self.host, self.port, self.base = self._parse(url)
         self.timeout = timeout
+        if read_retries < 0:
+            raise ValueError("read_retries must be >= 0")
+        self.read_retries = read_retries
+        self.retry_backoff = retry_backoff
+        self._rng = rng if rng is not None else random.Random()
         self.stats = CacheStats()
 
     @staticmethod
@@ -509,22 +540,39 @@ class HttpCache(CacheBackend):
         return fingerprint
 
     def get(self, fingerprint: str) -> Optional[SimulationResult]:
-        try:
-            status, data = self._request(
-                "GET", f"/cache/{self._check(fingerprint)}")
-        except OSError:
-            self.stats.misses += 1
-            return None
-        if status != 200:
-            self.stats.misses += 1
-            return None
-        try:
-            result = _deserialise(data.decode("utf-8"))
-        except (UnicodeDecodeError, ValueError, KeyError, TypeError):
-            self.stats.misses += 1
-            return None
-        self.stats.hits += 1
-        return result
+        path = f"/cache/{self._check(fingerprint)}"
+        for attempt in range(self.read_retries + 1):
+            if attempt > 0:
+                self.stats.read_retries += 1
+                # Full jitter keeps concurrent readers decorrelated; the
+                # RNG is injectable so tests stay deterministic.
+                delay = self._rng.random() * min(
+                    0.5, self.retry_backoff * (2 ** (attempt - 1)))
+                if delay > 0:
+                    time.sleep(delay)
+            try:
+                status, data = self._request("GET", path)
+            except OSError:
+                # Peer unreachable (or protocol error): maybe transient.
+                self.stats.connect_errors += 1
+                continue
+            if status == 404:
+                # An authoritative answer: the peer does not have it.
+                self.stats.misses += 1
+                return None
+            if status != 200:
+                self.stats.connect_errors += 1
+                continue
+            try:
+                result = _deserialise(data.decode("utf-8"))
+            except (UnicodeDecodeError, ValueError, KeyError, TypeError):
+                # Answered, but the payload is short or mangled.
+                self.stats.corrupt_payloads += 1
+                continue
+            self.stats.hits += 1
+            return result
+        self.stats.misses += 1
+        return None
 
     def put(self, fingerprint: str, result: SimulationResult) -> bool:
         payload = _serialise(result).encode("utf-8")

@@ -216,6 +216,12 @@ class ExperimentService:
                 "hits": self.cache.stats.hits,
                 "misses": self.cache.stats.misses,
                 "stores": self.cache.stats.stores,
+                "connect_errors": getattr(self.cache.stats,
+                                          "connect_errors", 0),
+                "corrupt_payloads": getattr(self.cache.stats,
+                                            "corrupt_payloads", 0),
+                "read_retries": getattr(self.cache.stats,
+                                        "read_retries", 0),
             }
         return stats
 

@@ -265,7 +265,8 @@ class TestClusterE2E:
         status, _headers, data = cluster.request("GET", "/stats")
         assert status == 200
         snapshot = json.loads(data)
-        assert set(snapshot) == {"router", "cluster", "shards"}
+        assert set(snapshot) == {"router", "cluster", "shards",
+                                 "membership"}
         assert snapshot["router"]["requests"] >= 2
         cluster_counts = snapshot["cluster"]
         assert cluster_counts["executed"] >= 4

@@ -261,7 +261,10 @@ class TestExperimentService:
                                  "deduped", "errors", "rejected",
                                  "in_flight", "queue_depth", "max_pending",
                                  "cache"}
-        assert snapshot["cache"] == {"hits": 0, "misses": 0, "stores": 0}
+        assert snapshot["cache"] == {"hits": 0, "misses": 0, "stores": 0,
+                                     "connect_errors": 0,
+                                     "corrupt_payloads": 0,
+                                     "read_retries": 0}
         assert snapshot["max_pending"] is None
 
     def test_leader_failure_releases_followers_and_retires_key(self, pool):
